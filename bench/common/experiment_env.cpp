@@ -1,0 +1,69 @@
+#include "common/experiment_env.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace psched::bench {
+
+namespace {
+double read_env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const double parsed = std::strtod(value, nullptr);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+std::uint64_t read_env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+}  // namespace
+
+double bench_scale() {
+  static const double scale = std::min(1.0, read_env_double("PSCHED_BENCH_SCALE", 1.0));
+  return scale;
+}
+
+const Workload& ross_trace() {
+  static const Workload trace = [] {
+    workload::GeneratorConfig config;
+    config.seed = read_env_u64("PSCHED_BENCH_SEED", 20021201ULL);
+    config.count_scale = bench_scale();
+    if (config.count_scale < 1.0) {
+      // Keep weekly load comparable when scaling the job count down.
+      config.span = std::max<Time>(weeks(4), static_cast<Time>(
+          static_cast<double>(workload::kRossTraceSpan) * config.count_scale));
+    }
+    return workload::generate_ross_workload(config);
+  }();
+  return trace;
+}
+
+sim::ExperimentRunner& runner() {
+  static sim::ExperimentRunner shared(ross_trace());
+  return shared;
+}
+
+void print_header(const std::string& experiment_id, const std::string& what,
+                  const std::string& paper_shape) {
+  const Workload& trace = ross_trace();
+  std::cout << "==================================================================\n"
+            << experiment_id << ": " << what << '\n'
+            << "# paper: " << paper_shape << '\n'
+            << "# trace: " << trace.jobs.size() << " jobs, " << trace.system_size
+            << " nodes, scale " << bench_scale() << ", synthetic CPlant/Ross\n"
+            << "==================================================================\n";
+}
+
+std::vector<metrics::PolicyReport> run_policies(const std::vector<PolicyConfig>& policies) {
+  std::vector<metrics::PolicyReport> reports;
+  reports.reserve(policies.size());
+  for (const PolicyConfig& policy : policies) {
+    std::cout << "# simulating " << policy.display_name() << "...\n" << std::flush;
+    reports.push_back(runner().run(policy).report);
+  }
+  return reports;
+}
+
+}  // namespace psched::bench

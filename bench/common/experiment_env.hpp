@@ -1,0 +1,35 @@
+#pragma once
+// Shared environment for the table/figure experiment binaries: the synthetic
+// CPlant/Ross trace, a cached experiment runner, and uniform report headers.
+//
+// Environment knobs (all optional):
+//   PSCHED_BENCH_SCALE  trace count scale in (0, 1]; default 1.0 (full trace)
+//   PSCHED_BENCH_SEED   generator seed; default 20021201
+
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "sim/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::bench {
+
+/// The trace every experiment binary runs on (constructed once per process).
+const Workload& ross_trace();
+
+/// Shared cached runner over ross_trace() with default engine settings.
+sim::ExperimentRunner& runner();
+
+/// The trace scale in effect (for report headers).
+double bench_scale();
+
+/// Standard banner: experiment id, what the paper shows, what to expect.
+void print_header(const std::string& experiment_id, const std::string& what,
+                  const std::string& paper_shape);
+
+/// Run the given policies through the shared runner (prints progress) and
+/// return their reports in order.
+std::vector<metrics::PolicyReport> run_policies(const std::vector<PolicyConfig>& policies);
+
+}  // namespace psched::bench

@@ -1,0 +1,17 @@
+// Figure 12: average turnaround time by job width — minor changes.
+
+#include <iostream>
+
+#include "common/experiment_env.hpp"
+
+int main() {
+  using namespace psched;
+
+  bench::print_header(
+      "Figure 12", "average turnaround time by width category (minor changes)",
+      "wide jobs dominate turnaround; the 72 h maximum runtime improves wide-job progress");
+
+  const auto reports = bench::run_policies(minor_change_policies());
+  std::cout << '\n' << metrics::turnaround_by_width_table(reports);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 13: loss of capacity (Eq. 4) — minor changes.
+
+#include <iostream>
+
+#include "common/experiment_env.hpp"
+
+int main() {
+  using namespace psched;
+
+  bench::print_header(
+      "Figure 13", "loss of capacity (minor changes)",
+      "policies that improve miss time and turnaround also improve (lower) the loss of "
+      "capacity; the 72 h limit reduces LOC the most");
+
+  const auto reports = bench::run_policies(minor_change_policies());
+  std::cout << '\n' << metrics::performance_summary_table(reports);
+
+  std::cout << "\nloss of capacity per policy (Figure 13 bars):\n";
+  for (const auto& r : reports)
+    std::cout << "  " << r.policy << ": "
+              << util::format_number(r.standard.loss_of_capacity * 100.0, 2) << "%\n";
+  return 0;
+}

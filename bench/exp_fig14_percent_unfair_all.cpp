@@ -1,0 +1,26 @@
+// Figure 14: percentage of jobs missing their fair start time — all nine
+// policies.
+
+#include <iostream>
+
+#include "common/experiment_env.hpp"
+
+int main() {
+  using namespace psched;
+
+  bench::print_header(
+      "Figure 14", "percent of jobs missing their hybrid fair start time (all policies)",
+      "all conservative policies outperform the original scheduler; conservative with "
+      "dynamic reservations has the fewest unfair jobs");
+
+  const auto reports = bench::run_policies(all_paper_policies());
+  std::cout << '\n' << metrics::fairness_summary_table(reports);
+
+  const auto& consdyn = reports[6];  // consdyn.nomax
+  bool fewest = true;
+  for (const auto& r : reports)
+    if (r.fairness.percent_unfair < consdyn.fairness.percent_unfair) fewest = false;
+  std::cout << "\nconsdyn.nomax has the fewest unfair jobs: " << (fewest ? "yes" : "NO")
+            << " (paper: yes)\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 17: average turnaround time — all nine policies.
+
+#include <iostream>
+
+#include "common/experiment_env.hpp"
+
+int main() {
+  using namespace psched;
+
+  bench::print_header(
+      "Figure 17", "average turnaround time (all policies)",
+      "plain conservative backfilling has poor turnaround; adding the 72 h limit makes "
+      "cons.72max competitive with (or better than) every other scheme");
+
+  const auto reports = bench::run_policies(all_paper_policies());
+  std::cout << '\n' << metrics::performance_summary_table(reports);
+
+  std::cout << "\navg turnaround per policy (Figure 17 bars):\n";
+  for (const auto& r : reports)
+    std::cout << "  " << r.policy << ": " << util::format_number(r.standard.avg_turnaround, 0)
+              << " s  (" << util::format_duration_short(r.standard.avg_turnaround) << ")\n";
+  return 0;
+}

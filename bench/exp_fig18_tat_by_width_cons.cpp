@@ -1,0 +1,23 @@
+// Figure 18: average turnaround time by width — baseline vs the conservative
+// family.
+
+#include <iostream>
+
+#include "common/experiment_env.hpp"
+
+int main() {
+  using namespace psched;
+
+  bench::print_header(
+      "Figure 18", "average turnaround by width category (conservative family)",
+      "wide jobs benefit from conservative reservations; the 72 h limit improves wide-job "
+      "turnaround further via coarse preemption");
+
+  const std::vector<PolicyConfig> policies = {
+      paper_policy(PaperPolicy::Cplant24NomaxAll), paper_policy(PaperPolicy::ConsNomax),
+      paper_policy(PaperPolicy::ConsdynNomax), paper_policy(PaperPolicy::ConsMax),
+      paper_policy(PaperPolicy::ConsdynMax)};
+  const auto reports = bench::run_policies(policies);
+  std::cout << '\n' << metrics::turnaround_by_width_table(reports);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 19: loss of capacity — all nine policies.
+
+#include <iostream>
+
+#include "common/experiment_env.hpp"
+
+int main() {
+  using namespace psched;
+
+  bench::print_header(
+      "Figure 19", "loss of capacity (all policies)",
+      "the 72 h runtime limit lowers LOC across schedulers; cons.72max has among the "
+      "lowest LOC; conservative schemes without limits do not beat the baseline");
+
+  const auto reports = bench::run_policies(all_paper_policies());
+  std::cout << '\n' << metrics::performance_summary_table(reports);
+
+  std::cout << "\nloss of capacity per policy (Figure 19 bars):\n";
+  for (const auto& r : reports)
+    std::cout << "  " << r.policy << ": "
+              << util::format_number(r.standard.loss_of_capacity * 100.0, 2) << "%\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Hybrid-FST engine throughput: serial vs thread-pool scaling over the
+// per-arrival snapshots of one simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "metrics/fst.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace psched;
+
+const SimulationResult& fst_input() {
+  static const SimulationResult result = [] {
+    const Workload trace = workload::generate_small_workload(9, 4000, 1024, days(40));
+    sim::EngineConfig config;
+    config.policy.kind = PolicyKind::Cplant;
+    return sim::simulate(trace, config);
+  }();
+  return result;
+}
+
+void BM_HybridFstSerial(benchmark::State& state) {
+  const SimulationResult& input = fst_input();
+  metrics::FstOptions options;
+  options.parallel = false;
+  for (auto _ : state) benchmark::DoNotOptimize(metrics::hybrid_fairshare_fst(input, options));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
+}
+BENCHMARK(BM_HybridFstSerial)->Unit(benchmark::kMillisecond);
+
+void BM_HybridFstParallel(benchmark::State& state) {
+  const SimulationResult& input = fst_input();
+  metrics::FstOptions options;
+  options.parallel = true;
+  for (auto _ : state) benchmark::DoNotOptimize(metrics::hybrid_fairshare_fst(input, options));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
+}
+BENCHMARK(BM_HybridFstParallel)->Unit(benchmark::kMillisecond);
+
+void BM_ConsPFst(benchmark::State& state) {
+  const SimulationResult& input = fst_input();
+  for (auto _ : state) benchmark::DoNotOptimize(metrics::cons_p_fst(input));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
+}
+BENCHMARK(BM_ConsPFst)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,35 @@
+// Synthetic-trace generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace psched;
+
+void BM_GenerateRossTrace(benchmark::State& state) {
+  workload::GeneratorConfig config;
+  config.count_scale = static_cast<double>(state.range(0)) / 100.0;
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    const Workload trace = workload::generate_ross_workload(config);
+    jobs = trace.jobs.size();
+    benchmark::DoNotOptimize(trace.jobs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_GenerateRossTrace)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSmallWorkload(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload::generate_small_workload(++seed, jobs, 512, days(10)).jobs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_GenerateSmallWorkload)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

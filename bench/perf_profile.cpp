@@ -1,0 +1,78 @@
+// Microbenchmarks of the availability Profile (the hot data structure under
+// every backfilling scheduler).
+
+#include <benchmark/benchmark.h>
+
+#include "core/profile.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace psched;
+
+/// Build a profile with `n` random usage intervals.
+Profile make_profile(std::size_t n, util::Rng& rng) {
+  Profile profile(1524, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time from = rng.uniform_int(0, 500'000);
+    const Time duration = rng.uniform_int(600, 86'400);
+    const auto nodes = static_cast<NodeCount>(rng.uniform_int(1, 128));
+    if (profile.fits_at(from, duration, nodes)) profile.add_usage(from, from + duration, nodes);
+  }
+  return profile;
+}
+
+void BM_ProfileAddUsage(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Profile profile(1524, 0);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time from = static_cast<Time>(i) * 977 % 500'000;
+      profile.add_usage(from, from + 3600, 4);
+    }
+    benchmark::DoNotOptimize(profile.breakpoints());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProfileAddUsage)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ProfileEarliestFit(benchmark::State& state) {
+  util::Rng rng(2);
+  Profile profile = make_profile(static_cast<std::size_t>(state.range(0)), rng);
+  Time query = 0;
+  for (auto _ : state) {
+    query = (query + 7919) % 500'000;
+    benchmark::DoNotOptimize(profile.earliest_fit(query, 7200, 256));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileEarliestFit)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ProfileFitsAt(benchmark::State& state) {
+  util::Rng rng(3);
+  Profile profile = make_profile(static_cast<std::size_t>(state.range(0)), rng);
+  Time query = 0;
+  for (auto _ : state) {
+    query = (query + 104729) % 500'000;
+    benchmark::DoNotOptimize(profile.fits_at(query, 3600, 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileFitsAt)->Arg(64)->Arg(1024);
+
+void BM_ProfileReserveRelease(benchmark::State& state) {
+  util::Rng rng(4);
+  Profile profile = make_profile(256, rng);
+  for (auto _ : state) {
+    const Time slot = profile.earliest_fit(10'000, 7200, 128);
+    profile.add_usage(slot, slot + 7200, 128);
+    profile.remove_usage(slot, slot + 7200, 128);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileReserveRelease);
+
+}  // namespace

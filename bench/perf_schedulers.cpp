@@ -1,0 +1,50 @@
+// End-to-end scheduler throughput: simulated jobs per second for each policy
+// kind on a common random workload.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace psched;
+
+const Workload& bench_trace(std::size_t jobs) {
+  static std::map<std::size_t, Workload> cache;
+  auto it = cache.find(jobs);
+  if (it == cache.end())
+    it = cache.emplace(jobs, workload::generate_small_workload(5, jobs, 512, days(30))).first;
+  return it->second;
+}
+
+void run_policy_bench(benchmark::State& state, PolicyKind kind) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const Workload& trace = bench_trace(jobs);
+  for (auto _ : state) {
+    sim::EngineConfig config;
+    config.policy.kind = kind;
+    config.policy.priority = PriorityKind::Fairshare;
+    config.record_snapshots = false;
+    benchmark::DoNotOptimize(sim::simulate(trace, config).records.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs));
+}
+
+void BM_SimFcfs(benchmark::State& state) { run_policy_bench(state, PolicyKind::Fcfs); }
+void BM_SimEasy(benchmark::State& state) { run_policy_bench(state, PolicyKind::Easy); }
+void BM_SimCplant(benchmark::State& state) { run_policy_bench(state, PolicyKind::Cplant); }
+void BM_SimConservative(benchmark::State& state) {
+  run_policy_bench(state, PolicyKind::Conservative);
+}
+void BM_SimConservativeDynamic(benchmark::State& state) {
+  run_policy_bench(state, PolicyKind::ConservativeDynamic);
+}
+
+BENCHMARK(BM_SimFcfs)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimEasy)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimCplant)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimConservative)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimConservativeDynamic)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

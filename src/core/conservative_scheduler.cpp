@@ -1,0 +1,107 @@
+#include "core/conservative_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace psched {
+
+ConservativeScheduler::ConservativeScheduler(ConservativeConfig config) : config_(config) {}
+
+std::string ConservativeScheduler::name() const {
+  std::string n = config_.dynamic_reservations ? "consdyn" : "cons";
+  if (config_.priority == PriorityKind::Fcfs) n += ".fcfs";
+  return n;
+}
+
+void ConservativeScheduler::on_submit(JobId id) {
+  waiting_.push_back(id);
+  reservations_.emplace(id, kNoTime);
+}
+
+void ConservativeScheduler::on_complete(JobId) {}
+
+Time ConservativeScheduler::reservation(JobId id) const {
+  const auto it = reservations_.find(id);
+  return it == reservations_.end() ? kNoTime : it->second;
+}
+
+void ConservativeScheduler::replan(Profile& profile) {
+  const Time now = ctx().now();
+
+  if (config_.dynamic_reservations) {
+    // Plan from scratch in priority order at every event.
+    for (const JobId id : sorted_by_priority(waiting_, config_.priority)) {
+      const Job& job = ctx().job(id);
+      const Time start = profile.earliest_fit(now, job.wcl, job.nodes);
+      profile.add_usage(start, start + job.wcl, job.nodes);
+      reservations_[id] = start;
+    }
+    return;
+  }
+
+  // Static conservative. Pass 1: re-seat stored reservations in stored-start
+  // order; a slot only moves later if an over-running job broke it. Brand-new
+  // arrivals (kNoTime) are seated last so they cannot delay anyone.
+  std::vector<JobId> seat_order = waiting_;
+  std::sort(seat_order.begin(), seat_order.end(), [&](JobId a, JobId b) {
+    const Time ra = reservations_.at(a);
+    const Time rb = reservations_.at(b);
+    const Time ka = ra == kNoTime ? std::numeric_limits<Time>::max() : ra;
+    const Time kb = rb == kNoTime ? std::numeric_limits<Time>::max() : rb;
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  for (const JobId id : seat_order) {
+    const Job& job = ctx().job(id);
+    const Time stored = reservations_.at(id);
+    const Time from = stored == kNoTime ? now : std::max(stored, now);
+    const Time start = profile.earliest_fit(from, job.wcl, job.nodes);
+    profile.add_usage(start, start + job.wcl, job.nodes);
+    reservations_[id] = start;
+  }
+
+  // Pass 2: improvement attempts in priority order — higher-priority jobs get
+  // the first chance at space freed by early completions. A job keeps its
+  // slot unless the found one is strictly earlier.
+  for (const JobId id : sorted_by_priority(waiting_, config_.priority)) {
+    const Job& job = ctx().job(id);
+    const Time current = reservations_.at(id);
+    profile.remove_usage(current, current + job.wcl, job.nodes);
+    const Time improved = profile.earliest_fit(now, job.wcl, job.nodes);
+    const Time chosen = improved < current ? improved : current;
+    profile.add_usage(chosen, chosen + job.wcl, job.nodes);
+    reservations_[id] = chosen;
+  }
+}
+
+void ConservativeScheduler::collect_starts(std::vector<JobId>& starts) {
+  wakeup_.reset();
+  const Time now = ctx().now();
+  Profile profile(ctx().total_nodes(), now);
+  add_running_to_profile(profile);
+  replan(profile);
+
+  // Launch everything whose reservation came due, highest priority first.
+  NodeCount free = ctx().free_nodes();
+  std::optional<Time> wake;
+  for (const JobId id : sorted_by_priority(waiting_, config_.priority)) {
+    const Time start = reservations_.at(id);
+    if (start <= now) {
+      const Job& job = ctx().job(id);
+      if (job.nodes > free)
+        throw std::logic_error("ConservativeScheduler: reservation due but nodes not free");
+      starts.push_back(id);
+      free -= job.nodes;
+      reservations_.erase(id);
+      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+    } else if (!wake || start < *wake) {
+      wake = start;
+    }
+  }
+  wakeup_ = wake;
+}
+
+std::optional<Time> ConservativeScheduler::next_wakeup() const { return wakeup_; }
+
+}  // namespace psched

@@ -1,0 +1,58 @@
+#pragma once
+// Conservative backfilling (paper section 5.3) and conservative backfilling
+// with dynamic reservations (section 5.4).
+//
+// Static mode: every job receives an internal reservation on arrival (the
+// earliest slot that delays nobody). At each scheduling event the queue is
+// processed in fairshare priority order and each job may *improve* its
+// reservation — it never gives one up unless the new slot is strictly
+// earlier, so arrival-time reservations are upper bounds on wait time and no
+// starvation queue is needed.
+//
+// Dynamic mode: reservations are not sticky. At every scheduling event all
+// reservations are discarded and the whole schedule is rebuilt in fairshare
+// priority order, removing the "FCFS feel" of static conservative — a job's
+// position tracks its user's current fairshare standing.
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/scheduler.hpp"
+
+namespace psched {
+
+struct ConservativeConfig {
+  PriorityKind priority = PriorityKind::Fairshare;
+  bool dynamic_reservations = false;
+};
+
+class ConservativeScheduler final : public Scheduler {
+ public:
+  explicit ConservativeScheduler(ConservativeConfig config);
+
+  std::string name() const override;
+  void on_submit(JobId id) override;
+  void on_complete(JobId id) override;
+  void collect_starts(std::vector<JobId>& starts) override;
+  std::optional<Time> next_wakeup() const override;
+
+  const ConservativeConfig& config() const { return config_; }
+
+  /// Current reservation of a waiting job (kNoTime before its first
+  /// scheduling event). Exposed for tests/metrics.
+  Time reservation(JobId id) const;
+
+ private:
+  /// Rebuild the availability profile and all reservations for "now".
+  /// Static mode keeps each stored slot unless an improvement (searched in
+  /// priority order) is strictly earlier; dynamic mode replans everything in
+  /// priority order.
+  void replan(Profile& profile);
+
+  ConservativeConfig config_;
+  std::vector<JobId> waiting_;
+  std::unordered_map<JobId, Time> reservations_;  // stored starts (kNoTime = new)
+  std::optional<Time> wakeup_;
+};
+
+}  // namespace psched

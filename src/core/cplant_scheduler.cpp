@@ -1,0 +1,132 @@
+#include "core/cplant_scheduler.hpp"
+
+#include <algorithm>
+
+namespace psched {
+
+CplantScheduler::CplantScheduler(CplantConfig config) : config_(config) {}
+
+std::string CplantScheduler::name() const {
+  if (!starvation_enabled()) return "noguarantee";
+  std::string n = "cplant" + std::to_string(config_.starvation_delay / hours(1));
+  n += config_.bar_heavy_users ? ".fair" : ".all";
+  return n;
+}
+
+void CplantScheduler::on_submit(JobId id) { waiting_.push_back(id); }
+
+void CplantScheduler::on_complete(JobId) {}
+
+bool CplantScheduler::user_is_heavy(UserId user) const {
+  const double mean = ctx().mean_positive_usage();
+  if (mean <= 0.0) return false;
+  return ctx().user_usage(user) > config_.heavy_user_factor * mean;
+}
+
+void CplantScheduler::promote_starving_jobs() {
+  if (!starvation_enabled()) return;
+  const Time now = ctx().now();
+  std::vector<JobId> eligible;
+  for (const JobId id : waiting_) {
+    const Job& job = ctx().job(id);
+    if (now - job.submit < config_.starvation_delay) continue;
+    if (config_.bar_heavy_users && user_is_heavy(job.user)) continue;
+    eligible.push_back(id);
+  }
+  // The starvation queue is FCFS by submission.
+  std::sort(eligible.begin(), eligible.end(), [&](JobId a, JobId b) {
+    const Job& ja = ctx().job(a);
+    const Job& jb = ctx().job(b);
+    return ja.submit != jb.submit ? ja.submit < jb.submit : a < b;
+  });
+  for (const JobId id : eligible) {
+    starve_.push_back(id);
+    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+  }
+}
+
+void CplantScheduler::collect_starts(std::vector<JobId>& starts) {
+  wakeup_.reset();
+  promote_starving_jobs();
+
+  const Time now = ctx().now();
+  NodeCount free = ctx().free_nodes();
+  Profile profile(ctx().total_nodes(), now);
+  add_running_to_profile(profile);
+
+  std::optional<Time> head_reservation;
+
+  // Starvation queue first, FCFS: start heads while they fit; the first head
+  // that does not fit pins the (single) internal reservation.
+  while (!starve_.empty()) {
+    const Job& head = ctx().job(starve_.front());
+    if (head.nodes <= free && profile.fits_at(now, head.wcl, head.nodes)) {
+      starts.push_back(head.id);
+      profile.add_usage(now, now + head.wcl, head.nodes);
+      free -= head.nodes;
+      starve_.pop_front();
+      continue;
+    }
+    const Time reserve_at = profile.earliest_fit(now, head.wcl, head.nodes);
+    profile.add_usage(reserve_at, reserve_at + head.wcl, head.nodes);
+    head_reservation = reserve_at;
+    break;
+  }
+
+  // Remaining starvation-queue jobs may still start if they respect the head
+  // reservation, then the main queue in fairshare (or configured) order.
+  auto try_start = [&](JobId id) {
+    const Job& job = ctx().job(id);
+    if (job.nodes <= free && profile.fits_at(now, job.wcl, job.nodes)) {
+      starts.push_back(id);
+      profile.add_usage(now, now + job.wcl, job.nodes);
+      free -= job.nodes;
+      return true;
+    }
+    return false;
+  };
+
+  if (!starve_.empty()) {
+    std::deque<JobId> still_starving;
+    bool first = true;
+    for (const JobId id : starve_) {
+      // The blocked head stays put (its reservation is already in the profile).
+      if (first) {
+        still_starving.push_back(id);
+        first = false;
+        continue;
+      }
+      if (!try_start(id)) still_starving.push_back(id);
+    }
+    starve_ = std::move(still_starving);
+  }
+
+  std::vector<JobId> order = sorted_by_priority(waiting_, config_.priority);
+  for (const JobId id : order) {
+    if (try_start(id)) waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+  }
+
+  // Timers: the head reservation, the next starvation-eligibility instant,
+  // and (with the heavy-user bar) a periodic recheck for barred jobs.
+  std::optional<Time> wake = head_reservation;
+  if (starvation_enabled()) {
+    bool any_barred_now = false;
+    for (const JobId id : waiting_) {
+      const Time eligible_at = ctx().job(id).submit + config_.starvation_delay;
+      if (eligible_at > now) {
+        if (!wake || eligible_at < *wake) wake = eligible_at;
+      } else {
+        any_barred_now = true;  // eligible but (necessarily) barred
+      }
+    }
+    if (any_barred_now) {
+      const Time recheck = now + config_.heavy_recheck_interval;
+      if (!wake || recheck < *wake) wake = recheck;
+    }
+  }
+  wakeup_ = wake;
+}
+
+std::optional<Time> CplantScheduler::next_wakeup() const { return wakeup_; }
+
+}  // namespace psched

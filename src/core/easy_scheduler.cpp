@@ -1,0 +1,65 @@
+#include "core/easy_scheduler.hpp"
+
+#include <algorithm>
+
+namespace psched {
+
+EasyScheduler::EasyScheduler(PriorityKind priority) : priority_(priority) {}
+
+std::string EasyScheduler::name() const {
+  return priority_ == PriorityKind::Fcfs ? "easy" : "easy.fairshare";
+}
+
+void EasyScheduler::on_submit(JobId id) { waiting_.push_back(id); }
+
+void EasyScheduler::on_complete(JobId) {}
+
+void EasyScheduler::collect_starts(std::vector<JobId>& starts) {
+  head_reservation_.reset();
+  if (waiting_.empty()) return;
+
+  const Time now = ctx().now();
+  NodeCount free = ctx().free_nodes();
+  Profile profile(ctx().total_nodes(), now);
+  add_running_to_profile(profile);
+
+  std::vector<JobId> order = sorted_by_priority(waiting_, priority_);
+  std::vector<JobId> started;
+
+  // The head either starts now or pins a reservation everyone must respect.
+  std::size_t next = 0;
+  while (next < order.size()) {
+    const Job& head = ctx().job(order[next]);
+    if (head.nodes <= free && profile.fits_at(now, head.wcl, head.nodes)) {
+      starts.push_back(head.id);
+      started.push_back(head.id);
+      profile.add_usage(now, now + head.wcl, head.nodes);
+      free -= head.nodes;
+      ++next;
+      continue;
+    }
+    const Time reserve_at = profile.earliest_fit(now, head.wcl, head.nodes);
+    profile.add_usage(reserve_at, reserve_at + head.wcl, head.nodes);
+    head_reservation_ = reserve_at;
+    ++next;
+    break;
+  }
+
+  // Backfill pass: anything that fits now without touching the reservation.
+  for (std::size_t i = next; i < order.size(); ++i) {
+    const Job& job = ctx().job(order[i]);
+    if (job.nodes <= free && profile.fits_at(now, job.wcl, job.nodes)) {
+      starts.push_back(job.id);
+      started.push_back(job.id);
+      profile.add_usage(now, now + job.wcl, job.nodes);
+      free -= job.nodes;
+    }
+  }
+
+  for (const JobId id : started)
+    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+}
+
+std::optional<Time> EasyScheduler::next_wakeup() const { return head_reservation_; }
+
+}  // namespace psched

@@ -1,0 +1,30 @@
+#pragma once
+// EASY / aggressive backfilling (paper section 1): only the job at the head
+// of the priority queue holds a reservation; any other job may leap forward
+// if starting it now does not delay that reservation. With PriorityKind::
+// Fairshare this is "aggressive backfill over the Sandia fairshare order" —
+// the closest reservation-bearing relative of the CPlant production policy.
+
+#include <optional>
+
+#include "core/scheduler.hpp"
+
+namespace psched {
+
+class EasyScheduler final : public Scheduler {
+ public:
+  explicit EasyScheduler(PriorityKind priority = PriorityKind::Fcfs);
+
+  std::string name() const override;
+  void on_submit(JobId id) override;
+  void on_complete(JobId id) override;
+  void collect_starts(std::vector<JobId>& starts) override;
+  std::optional<Time> next_wakeup() const override;
+
+ private:
+  PriorityKind priority_;
+  std::vector<JobId> waiting_;
+  std::optional<Time> head_reservation_;  // start time of the head's reservation
+};
+
+}  // namespace psched

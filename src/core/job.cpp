@@ -1,0 +1,58 @@
+#include "core/job.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace psched {
+
+std::string validate_job(const Job& job, NodeCount system_size) {
+  std::ostringstream problem;
+  if (job.nodes <= 0)
+    problem << "job " << job.id << ": nodes must be positive, got " << job.nodes;
+  else if (system_size > 0 && job.nodes > system_size)
+    problem << "job " << job.id << ": nodes " << job.nodes << " exceeds system size " << system_size;
+  else if (job.runtime <= 0)
+    problem << "job " << job.id << ": runtime must be positive, got " << job.runtime;
+  else if (job.wcl <= 0)
+    problem << "job " << job.id << ": wall clock limit must be positive, got " << job.wcl;
+  else if (job.submit < 0)
+    problem << "job " << job.id << ": submit must be non-negative, got " << job.submit;
+  else if (job.user < 0)
+    problem << "job " << job.id << ": user must be non-negative, got " << job.user;
+  return problem.str();
+}
+
+void Workload::validate() const {
+  if (system_size <= 0) throw std::invalid_argument("Workload: system_size must be positive");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    if (job.id != static_cast<JobId>(i))
+      throw std::invalid_argument("Workload: job id " + std::to_string(job.id) +
+                                  " does not match index " + std::to_string(i));
+    const std::string problem = validate_job(job, system_size);
+    if (!problem.empty()) throw std::invalid_argument("Workload: " + problem);
+    if (i > 0 && jobs[i - 1].submit > job.submit)
+      throw std::invalid_argument("Workload: jobs not sorted by submit time at index " +
+                                  std::to_string(i));
+  }
+}
+
+void Workload::normalize() {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.submit < b.submit;
+  });
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
+}
+
+double Workload::total_proc_seconds() const {
+  double total = 0.0;
+  for (const Job& job : jobs) total += job.proc_seconds();
+  return total;
+}
+
+Time Workload::earliest_submit() const { return jobs.empty() ? kNoTime : jobs.front().submit; }
+
+Time Workload::latest_submit() const { return jobs.empty() ? kNoTime : jobs.back().submit; }
+
+}  // namespace psched

@@ -1,0 +1,56 @@
+#pragma once
+// Job model and workload container.
+//
+// A Job is the 2-D rectangle of the paper's introduction: width = nodes,
+// length = the user's wall-clock limit (WCL); `runtime` is what the job
+// actually did on the machine. Jobs produced by the 72 h maximum-runtime
+// policy (paper section 5.1) carry their original job in `parent`.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace psched {
+
+struct Job {
+  JobId id = kInvalidJob;
+  UserId user = 0;
+  GroupId group = 0;
+  Time submit = 0;   ///< arrival time (seconds since epoch)
+  Time runtime = 0;  ///< actual runtime; > 0 for a valid job
+  Time wcl = 0;      ///< user-estimated runtime / wall clock limit; > 0
+  NodeCount nodes = 1;
+
+  // Segment bookkeeping for maximum-runtime splitting (kInvalidJob == not a
+  // segment). Segment 0 keeps the original submit time; segment k+1 is
+  // submitted when segment k completes (checkpoint/restart semantics).
+  JobId parent = kInvalidJob;
+  std::int32_t segment = 0;
+  std::int32_t segment_count = 1;
+
+  bool is_segment() const { return parent != kInvalidJob; }
+  double proc_seconds() const { return static_cast<double>(nodes) * static_cast<double>(runtime); }
+};
+
+/// Validation outcome for a single job; empty string means valid.
+std::string validate_job(const Job& job, NodeCount system_size);
+
+/// A trace plus the machine it ran on. Invariants (checked by validate()):
+/// jobs sorted by submit time, ids equal to vector index, every job valid.
+struct Workload {
+  std::vector<Job> jobs;
+  NodeCount system_size = 0;
+
+  /// Throws std::invalid_argument describing the first violation, if any.
+  void validate() const;
+
+  /// Sorts by (submit, id) and renumbers ids to match indices.
+  void normalize();
+
+  double total_proc_seconds() const;
+  Time earliest_submit() const;  ///< kNoTime when empty
+  Time latest_submit() const;    ///< kNoTime when empty
+};
+
+}  // namespace psched

@@ -1,0 +1,46 @@
+#include "core/list_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psched {
+
+ListScheduler::ListScheduler(NodeCount nodes, Time origin) {
+  if (nodes <= 0) throw std::invalid_argument("ListScheduler: nodes must be positive");
+  avail_.assign(static_cast<std::size_t>(nodes), origin);
+}
+
+void ListScheduler::occupy(NodeCount nodes, Time until) {
+  if (nodes <= 0 || static_cast<std::size_t>(nodes) > avail_.size())
+    throw std::invalid_argument("ListScheduler::occupy: bad node count");
+  // The earliest-available nodes are at the front (vector kept sorted).
+  for (std::size_t i = 0; i < static_cast<std::size_t>(nodes); ++i)
+    avail_[i] = std::max(avail_[i], until);
+  std::sort(avail_.begin(), avail_.end());
+}
+
+Time ListScheduler::peek_start(NodeCount nodes, Time earliest) const {
+  if (nodes <= 0 || static_cast<std::size_t>(nodes) > avail_.size())
+    throw std::invalid_argument("ListScheduler::peek_start: bad node count");
+  // Picking the N earliest-available nodes minimizes the start time; the
+  // start is the availability of the N-th of them.
+  return std::max(earliest, avail_[static_cast<std::size_t>(nodes) - 1]);
+}
+
+Time ListScheduler::schedule(NodeCount nodes, Time duration, Time earliest) {
+  if (duration < 0) throw std::invalid_argument("ListScheduler::schedule: negative duration");
+  const Time start = peek_start(nodes, earliest);
+  const Time end = start + duration;
+  const auto n = static_cast<std::size_t>(nodes);
+  for (std::size_t i = 0; i < n; ++i) avail_[i] = end;
+  // The first n entries were the smallest and are now all `end`; merge back
+  // into sorted order (rotate to the insertion point).
+  const auto insert_at = std::lower_bound(avail_.begin() + static_cast<std::ptrdiff_t>(n),
+                                          avail_.end(), end);
+  std::rotate(avail_.begin(), avail_.begin() + static_cast<std::ptrdiff_t>(n), insert_at);
+  return start;
+}
+
+Time ListScheduler::earliest_available() const { return avail_.front(); }
+
+}  // namespace psched

@@ -1,0 +1,45 @@
+#pragma once
+// Per-node-completion-time list scheduler: the substrate of the paper's
+// hybrid fair-start-time metric (section 4.1).
+//
+// The list scheduler keeps a completion time for each node. To place a job
+// needing N nodes it picks the N earliest-available nodes; the job starts at
+// the latest of those availability times (never earlier than `earliest`),
+// and those nodes become available again at start + runtime. Unlike
+// conservative backfilling it can never use "holes" before existing
+// assignments; unlike a strict no-backfill queue it does let disjoint node
+// sets proceed independently.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace psched {
+
+class ListScheduler {
+ public:
+  /// All `nodes` nodes available at `origin`.
+  ListScheduler(NodeCount nodes, Time origin);
+
+  /// Mark `nodes` nodes (the earliest-available ones) busy until `until`.
+  /// Used to seed the running jobs of a snapshot. Throws if fewer than
+  /// `nodes` nodes exist.
+  void occupy(NodeCount nodes, Time until);
+
+  /// Place a job; returns its start time and updates node availability.
+  Time schedule(NodeCount nodes, Time duration, Time earliest);
+
+  /// Start time the next schedule() call *would* return, without placing.
+  Time peek_start(NodeCount nodes, Time earliest) const;
+
+  NodeCount node_count() const { return static_cast<NodeCount>(avail_.size()); }
+
+  /// Earliest availability over all nodes.
+  Time earliest_available() const;
+
+ private:
+  // Sorted ascending; kept sorted by schedule()/occupy().
+  std::vector<Time> avail_;
+};
+
+}  // namespace psched

@@ -1,0 +1,133 @@
+#include "core/policy.hpp"
+
+#include <stdexcept>
+
+#include "core/conservative_scheduler.hpp"
+#include "core/cplant_scheduler.hpp"
+#include "core/depth_scheduler.hpp"
+#include "core/easy_scheduler.hpp"
+#include "core/fcfs_scheduler.hpp"
+
+namespace psched {
+
+std::string PolicyConfig::display_name() const {
+  if (!name.empty()) return name;
+  const std::string max_part = max_runtime == kNoTime
+                                   ? "nomax"
+                                   : std::to_string(max_runtime / hours(1)) + "max";
+  switch (kind) {
+    case PolicyKind::Fcfs:
+      return priority == PriorityKind::Fcfs ? "fcfs" : "fcfs.fairshare";
+    case PolicyKind::Easy:
+      return priority == PriorityKind::Fcfs ? "easy" : "easy.fairshare";
+    case PolicyKind::Depth: {
+      std::string n = "depth" + std::to_string(reservation_depth);
+      if (priority == PriorityKind::Fcfs) n += ".fcfs";
+      return n + "." + max_part;
+    }
+    case PolicyKind::Cplant: {
+      if (starvation_delay == kNoTime) return "noguarantee." + max_part;
+      std::string n = "cplant" + std::to_string(starvation_delay / hours(1));
+      n += "." + max_part;
+      n += bar_heavy_users ? ".fair" : ".all";
+      return n;
+    }
+    case PolicyKind::Conservative: {
+      std::string n = "cons";
+      if (priority == PriorityKind::Fcfs) n += ".fcfs";
+      return n + "." + max_part;
+    }
+    case PolicyKind::ConservativeDynamic: {
+      std::string n = "consdyn";
+      if (priority == PriorityKind::Fcfs) n += ".fcfs";
+      return n + "." + max_part;
+    }
+  }
+  throw std::logic_error("PolicyConfig::display_name: unknown kind");
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::Fcfs:
+      return std::make_unique<FcfsScheduler>(config.priority);
+    case PolicyKind::Easy:
+      return std::make_unique<EasyScheduler>(config.priority);
+    case PolicyKind::Depth: {
+      DepthConfig c;
+      c.priority = config.priority;
+      c.reservation_depth = config.reservation_depth;
+      return std::make_unique<DepthScheduler>(c);
+    }
+    case PolicyKind::Cplant: {
+      CplantConfig c;
+      c.priority = config.priority;
+      c.starvation_delay = config.starvation_delay;
+      c.bar_heavy_users = config.bar_heavy_users;
+      c.heavy_user_factor = config.heavy_user_factor;
+      return std::make_unique<CplantScheduler>(c);
+    }
+    case PolicyKind::Conservative:
+    case PolicyKind::ConservativeDynamic: {
+      ConservativeConfig c;
+      c.priority = config.priority;
+      c.dynamic_reservations = config.kind == PolicyKind::ConservativeDynamic;
+      return std::make_unique<ConservativeScheduler>(c);
+    }
+  }
+  throw std::invalid_argument("make_scheduler: unknown policy kind");
+}
+
+PolicyConfig paper_policy(PaperPolicy policy) {
+  PolicyConfig c;  // defaults: Cplant, fairshare, 24 h, no bar, no max
+  switch (policy) {
+    case PaperPolicy::Cplant24NomaxAll:
+      break;
+    case PaperPolicy::Cplant72NomaxAll:
+      c.starvation_delay = hours(72);
+      break;
+    case PaperPolicy::Cplant24NomaxFair:
+      c.bar_heavy_users = true;
+      break;
+    case PaperPolicy::Cplant24MaxAll:
+      c.max_runtime = hours(72);
+      break;
+    case PaperPolicy::Cplant72MaxFair:
+      c.starvation_delay = hours(72);
+      c.bar_heavy_users = true;
+      c.max_runtime = hours(72);
+      break;
+    case PaperPolicy::ConsNomax:
+      c.kind = PolicyKind::Conservative;
+      break;
+    case PaperPolicy::ConsMax:
+      c.kind = PolicyKind::Conservative;
+      c.max_runtime = hours(72);
+      break;
+    case PaperPolicy::ConsdynNomax:
+      c.kind = PolicyKind::ConservativeDynamic;
+      break;
+    case PaperPolicy::ConsdynMax:
+      c.kind = PolicyKind::ConservativeDynamic;
+      c.max_runtime = hours(72);
+      break;
+  }
+  c.name = c.display_name();
+  return c;
+}
+
+std::vector<PolicyConfig> minor_change_policies() {
+  return {paper_policy(PaperPolicy::Cplant24NomaxAll), paper_policy(PaperPolicy::Cplant24NomaxFair),
+          paper_policy(PaperPolicy::Cplant72NomaxAll), paper_policy(PaperPolicy::Cplant24MaxAll),
+          paper_policy(PaperPolicy::Cplant72MaxFair)};
+}
+
+std::vector<PolicyConfig> all_paper_policies() {
+  std::vector<PolicyConfig> all = minor_change_policies();
+  all.push_back(paper_policy(PaperPolicy::ConsNomax));
+  all.push_back(paper_policy(PaperPolicy::ConsdynNomax));
+  all.push_back(paper_policy(PaperPolicy::ConsMax));
+  all.push_back(paper_policy(PaperPolicy::ConsdynMax));
+  return all;
+}
+
+}  // namespace psched

@@ -1,0 +1,148 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace psched {
+
+Profile::Profile(NodeCount capacity, Time origin) : capacity_(capacity), origin_(origin) {
+  if (capacity <= 0) throw std::invalid_argument("Profile: capacity must be positive");
+  steps_.push_back({origin_, capacity_});
+}
+
+void Profile::reset(Time origin) {
+  origin_ = origin;
+  steps_.clear();
+  steps_.push_back({origin_, capacity_});
+}
+
+std::size_t Profile::step_index(Time t) const {
+  if (t < origin_) throw std::logic_error("Profile: time before origin");
+  // Last step with at <= t.
+  const auto it = std::upper_bound(steps_.begin(), steps_.end(), t,
+                                   [](Time value, const Step& s) { return value < s.at; });
+  return static_cast<std::size_t>(std::distance(steps_.begin(), it)) - 1;
+}
+
+std::size_t Profile::ensure_breakpoint(Time t) {
+  const std::size_t i = step_index(t);
+  if (steps_[i].at == t) return i;
+  steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1, {t, steps_[i].free});
+  return i + 1;
+}
+
+void Profile::coalesce() {
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].free == steps_[out - 1].free) continue;
+    steps_[out++] = steps_[i];
+  }
+  steps_.resize(out);
+}
+
+void Profile::add_usage(Time from, Time to, NodeCount nodes) {
+  if (nodes < 0) throw std::invalid_argument("Profile::add_usage: negative nodes");
+  if (nodes == 0 || from >= to) return;
+  if (from < origin_) throw std::logic_error("Profile::add_usage: interval before origin");
+  const std::size_t first = ensure_breakpoint(from);
+  const std::size_t last = ensure_breakpoint(to);  // end marker keeps old free value
+  // Validate the whole window before mutating so a failed add leaves the
+  // free counts untouched (strong exception safety; stray breakpoints are
+  // harmless and coalesce away later).
+  for (std::size_t i = first; i < last; ++i) {
+    if (steps_[i].free < nodes)
+      throw std::logic_error("Profile::add_usage: over-reservation at t=" +
+                             std::to_string(steps_[i].at));
+  }
+  for (std::size_t i = first; i < last; ++i) steps_[i].free -= nodes;
+  coalesce();
+}
+
+void Profile::remove_usage(Time from, Time to, NodeCount nodes) {
+  if (nodes < 0) throw std::invalid_argument("Profile::remove_usage: negative nodes");
+  if (nodes == 0 || from >= to) return;
+  if (from < origin_) throw std::logic_error("Profile::remove_usage: interval before origin");
+  const std::size_t first = ensure_breakpoint(from);
+  const std::size_t last = ensure_breakpoint(to);
+  for (std::size_t i = first; i < last; ++i) {
+    if (steps_[i].free + nodes > capacity_)
+      throw std::logic_error("Profile::remove_usage: exceeds capacity at t=" +
+                             std::to_string(steps_[i].at));
+  }
+  for (std::size_t i = first; i < last; ++i) steps_[i].free += nodes;
+  coalesce();
+}
+
+NodeCount Profile::free_at(Time t) const { return steps_[step_index(t)].free; }
+
+bool Profile::fits_at(Time start, Time duration, NodeCount nodes) const {
+  if (start < origin_) return false;
+  if (nodes > capacity_) return false;
+  if (duration <= 0 || nodes <= 0) return true;
+  const Time end = start + duration;
+  for (std::size_t i = step_index(start); i < steps_.size() && steps_[i].at < end; ++i) {
+    if (steps_[i].free < nodes) return false;
+  }
+  return true;
+}
+
+Time Profile::earliest_fit(Time earliest, Time duration, NodeCount nodes) const {
+  if (nodes > capacity_)
+    throw std::invalid_argument("Profile::earliest_fit: job wider than machine");
+  earliest = std::max(earliest, origin_);
+  if (duration <= 0 || nodes <= 0) return earliest;
+
+  std::size_t i = step_index(earliest);
+  Time candidate = earliest;
+  for (;;) {
+    // Advance past steps that cannot host the job's start.
+    while (i < steps_.size() && steps_[i].free < nodes) {
+      ++i;
+      if (i == steps_.size()) return candidate;  // unreachable: last step == capacity
+      candidate = steps_[i].at;
+    }
+    // Check the window [candidate, candidate + duration).
+    const Time end = candidate + duration;
+    std::size_t j = i;
+    bool ok = true;
+    while (j < steps_.size() && steps_[j].at < end) {
+      if (steps_[j].free < nodes) {
+        ok = false;
+        break;
+      }
+      ++j;
+    }
+    if (ok) return candidate;
+    // Restart after the blocking step.
+    i = j + 1;
+    if (i >= steps_.size()) {
+      // The profile tail always returns to full capacity, so the candidate
+      // after the last breakpoint is feasible.
+      return steps_.back().at;
+    }
+    candidate = steps_[i].at;
+  }
+}
+
+void Profile::check_invariants() const {
+  if (steps_.empty()) throw std::logic_error("Profile: empty step list");
+  if (steps_.front().at != origin_) throw std::logic_error("Profile: first step not at origin");
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].free < 0 || steps_[i].free > capacity_)
+      throw std::logic_error("Profile: free count out of range");
+    if (i > 0 && steps_[i - 1].at >= steps_[i].at)
+      throw std::logic_error("Profile: steps not strictly increasing");
+  }
+  if (steps_.back().free != capacity_)
+    throw std::logic_error("Profile: tail must return to full capacity");
+}
+
+std::string Profile::debug_string() const {
+  std::ostringstream os;
+  os << "Profile(cap=" << capacity_ << ")";
+  for (const Step& s : steps_) os << " [" << s.at << ":" << s.free << "]";
+  return os.str();
+}
+
+}  // namespace psched

@@ -1,0 +1,77 @@
+#pragma once
+// Availability profile: the piecewise-constant "free nodes over time"
+// timeline that backfilling schedulers pack jobs into (the 2-D chart of the
+// paper's Figures 1-2). This is the substrate under EASY reservations, the
+// CPlant starvation-queue head reservation, and both conservative schedulers.
+//
+// Representation: sorted breakpoints (time, free-from-here). The profile
+// starts at `origin` with all nodes free and extends to +infinity with the
+// free count of the last breakpoint (which is `capacity` once all usage
+// intervals end).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace psched {
+
+class Profile {
+ public:
+  Profile(NodeCount capacity, Time origin);
+
+  /// Reset to "everything free from origin".
+  void reset(Time origin);
+
+  NodeCount capacity() const { return capacity_; }
+  Time origin() const { return origin_; }
+
+  /// Subtract `nodes` free nodes over [from, to). Throws std::logic_error if
+  /// this would drive any step negative (over-reservation) or if from < origin.
+  void add_usage(Time from, Time to, NodeCount nodes);
+
+  /// Exact inverse of add_usage (returns the nodes to the free pool).
+  /// Throws std::logic_error if this would exceed capacity anywhere.
+  void remove_usage(Time from, Time to, NodeCount nodes);
+
+  /// Free nodes at instant t (t >= origin).
+  NodeCount free_at(Time t) const;
+
+  /// True iff `nodes` are free throughout [start, start+duration).
+  bool fits_at(Time start, Time duration, NodeCount nodes) const;
+
+  /// Earliest start >= earliest such that `nodes` are free for `duration`.
+  /// Always succeeds (the profile ends with free nodes <= capacity; callers
+  /// must ensure nodes <= capacity, else std::invalid_argument).
+  Time earliest_fit(Time earliest, Time duration, NodeCount nodes) const;
+
+  std::size_t breakpoints() const { return steps_.size(); }
+
+  /// Internal consistency: sorted strictly increasing times, free in
+  /// [0, capacity], last step's free == capacity is NOT required (running
+  /// jobs may extend forever is not allowed though: usage intervals are
+  /// finite so the final step always has free == capacity).
+  void check_invariants() const;
+
+  std::string debug_string() const;
+
+ private:
+  struct Step {
+    Time at;         // step applies from this instant
+    NodeCount free;  // free nodes in [at, next.at)
+  };
+
+  /// Index of the step covering time t (t >= origin).
+  std::size_t step_index(Time t) const;
+  /// Ensure a breakpoint exists exactly at t; returns its index.
+  std::size_t ensure_breakpoint(Time t);
+  /// Merge adjacent steps with equal free counts.
+  void coalesce();
+
+  NodeCount capacity_;
+  Time origin_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace psched

@@ -1,0 +1,43 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psched {
+
+const SchedulerContext& Scheduler::ctx() const {
+  if (ctx_ == nullptr) throw std::logic_error("Scheduler used before attach()");
+  return *ctx_;
+}
+
+bool Scheduler::priority_less(const Job& a, const Job& b, PriorityKind kind) const {
+  if (kind == PriorityKind::Fairshare) {
+    const double ua = ctx().user_usage(a.user);
+    const double ub = ctx().user_usage(b.user);
+    if (ua != ub) return ua < ub;  // lower decayed usage goes first
+  }
+  if (a.submit != b.submit) return a.submit < b.submit;
+  return a.id < b.id;
+}
+
+std::vector<JobId> Scheduler::sorted_by_priority(std::vector<JobId> ids, PriorityKind kind) const {
+  std::sort(ids.begin(), ids.end(), [&](JobId x, JobId y) {
+    return priority_less(ctx().job(x), ctx().job(y), kind);
+  });
+  return ids;
+}
+
+void Scheduler::add_running_to_profile(Profile& profile) const {
+  const Time now = ctx().now();
+  for (const RunningView& r : ctx().running()) {
+    // A job past its estimated end is assumed to keep running for as long as
+    // it has already over-run (at least kOverrunGrace). The growing horizon
+    // keeps reservation recomputations to O(log overrun) instead of stepping
+    // one second at a time.
+    Time end = r.est_end;
+    if (end <= now) end = now + std::max<Time>(kOverrunGrace, now - r.est_end);
+    profile.add_usage(now, end, r.nodes);
+  }
+}
+
+}  // namespace psched

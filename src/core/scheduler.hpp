@@ -1,0 +1,97 @@
+#pragma once
+// Scheduler interface: the policy side of the simulator. The simulation
+// engine owns machine state, running jobs, fairshare accounting and the event
+// loop; a Scheduler observes submissions/completions and answers two
+// questions at every scheduling event: "which waiting jobs start right now?"
+// and "when do you next need to act without an external event?".
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fairshare.hpp"
+#include "core/job.hpp"
+#include "core/profile.hpp"
+#include "core/types.hpp"
+
+namespace psched {
+
+/// What a policy may legitimately know about a running job: its identity,
+/// width, start, and *estimated* end (start + WCL). Actual runtimes are
+/// hidden — production schedulers only see estimates.
+struct RunningView {
+  JobId id = kInvalidJob;
+  NodeCount nodes = 0;
+  Time start = 0;
+  Time est_end = 0;
+};
+
+/// Read-only window onto engine state, implemented by sim::SimulationEngine
+/// (and by lightweight fixtures in tests).
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+  virtual Time now() const = 0;
+  virtual NodeCount total_nodes() const = 0;
+  virtual NodeCount free_nodes() const = 0;
+  virtual const Job& job(JobId id) const = 0;
+  virtual const std::vector<RunningView>& running() const = 0;
+  /// Decayed fairshare usage of a user (lower = higher priority).
+  virtual double user_usage(UserId user) const = 0;
+  /// Mean usage over users with positive usage (heavy-user bar threshold).
+  virtual double mean_positive_usage() const = 0;
+};
+
+/// Queue ordering used by the policies. Fairshare is the Sandia production
+/// order; Fcfs is used for baselines and for the CONS_P fairness metric.
+enum class PriorityKind { Fairshare, Fcfs };
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Must be called once before any event is delivered.
+  void attach(const SchedulerContext& context) { ctx_ = &context; }
+
+  virtual std::string name() const = 0;
+
+  /// A job entered the wait queue at ctx().now().
+  virtual void on_submit(JobId id) = 0;
+
+  /// A running job completed (its nodes are already back in the free pool).
+  virtual void on_complete(JobId id) = 0;
+
+  /// Append jobs to launch *now*, in launch order. The engine launches them
+  /// in exactly that order and errors out on infeasible requests, so the
+  /// scheduler must account for its own picks within one call (free nodes
+  /// are not refreshed until the call returns). Implementations remove
+  /// emitted jobs from their own queues.
+  virtual void collect_starts(std::vector<JobId>& starts) = 0;
+
+  /// Next time the scheduler needs a timer event (reservation start,
+  /// starvation-queue eligibility, ...). nullopt = only external events.
+  virtual std::optional<Time> next_wakeup() const { return std::nullopt; }
+
+ protected:
+  const SchedulerContext& ctx() const;
+
+  /// true if a's queue priority is ahead of b's under `kind`.
+  bool priority_less(const Job& a, const Job& b, PriorityKind kind) const;
+
+  /// Waiting ids sorted by priority (stable, deterministic tie-breaks).
+  std::vector<JobId> sorted_by_priority(std::vector<JobId> ids, PriorityKind kind) const;
+
+  /// Fill `profile` with usage of all running jobs. Jobs past their
+  /// estimated end are assumed to run on for max(kOverrunGrace, elapsed
+  /// overrun) more seconds — an exponential-backoff horizon that keeps
+  /// over-runners from triggering per-second replans.
+  void add_running_to_profile(Profile& profile) const;
+
+  /// Minimum assumed remaining runtime for a job past its WCL.
+  static constexpr Time kOverrunGrace = 300;
+
+ private:
+  const SchedulerContext* ctx_ = nullptr;
+};
+
+}  // namespace psched

@@ -1,0 +1,29 @@
+#pragma once
+// Fundamental identifiers and time units shared by every layer.
+//
+// Simulation time is integer seconds from the trace epoch (t = 0 at the first
+// possible submission). Integer time keeps the reservation/profile logic exact
+// (no FP-comparison hazards) and matches the Standard Workload Format.
+
+#include <cstdint>
+
+#include "util/time_format.hpp"
+
+namespace psched {
+
+using Time = std::int64_t;       ///< seconds since trace epoch
+using JobId = std::int32_t;      ///< dense index into a workload / record table
+using UserId = std::int32_t;     ///< dense user index (SWF-style anonymized)
+using GroupId = std::int32_t;    ///< dense group index
+using NodeCount = std::int32_t;  ///< number of compute nodes
+
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr UserId kInvalidUser = -1;
+inline constexpr Time kNoTime = -1;
+
+using util::days;
+using util::hours;
+using util::minutes;
+using util::weeks;
+
+}  // namespace psched

@@ -1,0 +1,85 @@
+#include "metrics/breakdowns.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace psched::metrics {
+
+LengthBreakdown length_breakdown(const SimulationResult& result, const FstResult* fst) {
+  if (fst != nullptr && fst->miss.size() != result.records.size())
+    throw std::invalid_argument("length_breakdown: fst does not match result");
+  LengthBreakdown breakdown;
+  std::array<double, kLengthCategories> wait_sum{};
+  std::array<double, kLengthCategories> tat_sum{};
+  std::array<double, kLengthCategories> miss_sum{};
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const JobRecord& record = result.records[i];
+    const auto l = static_cast<std::size_t>(length_category(record.job.runtime));
+    ++breakdown.jobs[l];
+    wait_sum[l] += static_cast<double>(record.wait());
+    tat_sum[l] += static_cast<double>(record.turnaround());
+    if (fst != nullptr) miss_sum[l] += static_cast<double>(fst->miss[i]);
+  }
+  for (std::size_t l = 0; l < kLengthCategories; ++l) {
+    if (breakdown.jobs[l] == 0) continue;
+    const auto n = static_cast<double>(breakdown.jobs[l]);
+    breakdown.avg_wait[l] = wait_sum[l] / n;
+    breakdown.avg_turnaround[l] = tat_sum[l] / n;
+    breakdown.avg_miss[l] = miss_sum[l] / n;
+  }
+  return breakdown;
+}
+
+std::vector<UserSummary> user_breakdown(const SimulationResult& result, const FstResult* fst,
+                                        Time tolerance) {
+  if (fst != nullptr && fst->miss.size() != result.records.size())
+    throw std::invalid_argument("user_breakdown: fst does not match result");
+  struct Accumulator {
+    std::size_t jobs = 0;
+    double proc_seconds = 0.0;
+    double wait_sum = 0.0;
+    double miss_sum = 0.0;
+    std::size_t unfair = 0;
+  };
+  std::map<UserId, Accumulator> by_user;
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const JobRecord& record = result.records[i];
+    Accumulator& acc = by_user[record.job.user];
+    ++acc.jobs;
+    acc.proc_seconds += record.job.proc_seconds();
+    acc.wait_sum += static_cast<double>(record.wait());
+    if (fst != nullptr) {
+      acc.miss_sum += static_cast<double>(fst->miss[i]);
+      if (fst->miss[i] > tolerance) ++acc.unfair;
+    }
+  }
+  std::vector<UserSummary> summaries;
+  summaries.reserve(by_user.size());
+  for (const auto& [user, acc] : by_user) {
+    UserSummary s;
+    s.user = user;
+    s.jobs = acc.jobs;
+    s.proc_seconds = acc.proc_seconds;
+    const auto n = static_cast<double>(acc.jobs);
+    s.avg_wait = acc.wait_sum / n;
+    s.avg_miss = acc.miss_sum / n;
+    s.unfair_fraction = static_cast<double>(acc.unfair) / n;
+    summaries.push_back(s);
+  }
+  std::sort(summaries.begin(), summaries.end(), [](const UserSummary& a, const UserSummary& b) {
+    if (a.proc_seconds != b.proc_seconds) return a.proc_seconds > b.proc_seconds;
+    return a.user < b.user;
+  });
+  return summaries;
+}
+
+util::Summary wait_distribution(const SimulationResult& result) {
+  std::vector<double> waits;
+  waits.reserve(result.records.size());
+  for (const JobRecord& record : result.records)
+    waits.push_back(static_cast<double>(record.wait()));
+  return util::summarize(waits);
+}
+
+}  // namespace psched::metrics

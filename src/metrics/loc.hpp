@@ -1,0 +1,22 @@
+#pragma once
+// Loss of capacity (paper Eq. 4): the fraction of processor cycles left idle
+// while jobs were waiting in the queue. The engine accumulates the integral
+// online; this module normalizes it and provides an independent recomputation
+// from the finished records (used to cross-check the engine in tests).
+
+#include "core/record.hpp"
+
+namespace psched::metrics {
+
+/// Eq. 4 using the engine's online integral.
+double loss_of_capacity(const SimulationResult& result);
+
+/// Recompute the Eq. 4 numerator (proc-seconds) by sweeping the finished
+/// records' submit/start/finish events — independent of the engine's online
+/// accounting.
+double recompute_loc_integral(const SimulationResult& result);
+
+/// Recompute the busy integral (utilization numerator) the same way.
+double recompute_busy_integral(const SimulationResult& result);
+
+}  // namespace psched::metrics

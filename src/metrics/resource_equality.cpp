@@ -1,0 +1,78 @@
+#include "metrics/resource_equality.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace psched::metrics {
+
+ResourceEquality resource_equality(const SimulationResult& result) {
+  ResourceEquality eq;
+  const std::size_t n = result.records.size();
+  eq.received.assign(n, 0.0);
+  eq.deserved.assign(n, 0.0);
+  eq.deficit.assign(n, 0.0);
+  if (n == 0) return eq;
+
+  // Event sweep over submit/finish (liveness) and start/finish (holding).
+  enum class Edge { Submit, Start, Finish };
+  std::map<Time, std::vector<std::pair<Edge, std::size_t>>> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRecord& r = result.records[i];
+    edges[r.job.submit].push_back({Edge::Submit, i});
+    edges[r.start].push_back({Edge::Start, i});
+    edges[r.finish].push_back({Edge::Finish, i});
+  }
+
+  std::vector<bool> live(n, false);
+  std::vector<bool> holding(n, false);
+  std::vector<std::size_t> live_set;  // indices currently live (small churn)
+  Time prev = kNoTime;
+
+  for (const auto& [at, batch] : edges) {
+    if (prev != kNoTime && at > prev && !live_set.empty()) {
+      const double dt = static_cast<double>(at - prev);
+      const double share =
+          static_cast<double>(result.system_size) / static_cast<double>(live_set.size());
+      for (const std::size_t i : live_set) {
+        eq.deserved[i] += share * dt;
+        if (holding[i]) eq.received[i] += static_cast<double>(result.records[i].job.nodes) * dt;
+      }
+    }
+    for (const auto& [edge, i] : batch) {
+      switch (edge) {
+        case Edge::Submit:
+          live[i] = true;
+          live_set.push_back(i);
+          break;
+        case Edge::Start:
+          holding[i] = true;
+          break;
+        case Edge::Finish:
+          holding[i] = false;
+          live[i] = false;
+          live_set.erase(std::find(live_set.begin(), live_set.end(), i));
+          break;
+      }
+    }
+    prev = at;
+  }
+
+  double deficit_total = 0.0;
+  double deserved_total = 0.0;
+  std::vector<double> ratios;
+  ratios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eq.deficit[i] = std::max(0.0, eq.deserved[i] - eq.received[i]);
+    deficit_total += eq.deficit[i];
+    deserved_total += eq.deserved[i];
+    ratios.push_back(eq.deserved[i] > 0.0 ? eq.received[i] / eq.deserved[i] : 1.0);
+  }
+  eq.normalized_deficit = deserved_total > 0.0 ? deficit_total / deserved_total : 0.0;
+  eq.jain_index = util::jain_fairness_index(ratios);
+  return eq;
+}
+
+}  // namespace psched::metrics

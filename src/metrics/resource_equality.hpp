@@ -1,0 +1,30 @@
+#pragma once
+// Resource-equality fairness (paper section 4, after Sabin & Sadayappan
+// following Raz/Levy/Avi-Itzhak): while a job is "live" (queued or running)
+// it deserves 1/N of the machine, where N is the number of live jobs. The
+// metric compares what each job actually received with that entitlement; it
+// needs no reference schedule, so it can compare schedules directly.
+
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace psched::metrics {
+
+struct ResourceEquality {
+  /// Per record: integral of nodes actually held (proc-seconds).
+  std::vector<double> received;
+  /// Per record: integral of machine_size / N_live over the job's lifetime.
+  std::vector<double> deserved;
+  /// Per record: max(0, deserved - received).
+  std::vector<double> deficit;
+
+  /// Sum of deficits / sum of deserved (0 = everyone got their share).
+  double normalized_deficit = 0.0;
+  /// Jain fairness index over received/deserved ratios.
+  double jain_index = 0.0;
+};
+
+ResourceEquality resource_equality(const SimulationResult& result);
+
+}  // namespace psched::metrics

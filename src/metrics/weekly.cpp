@@ -1,0 +1,44 @@
+#include "metrics/weekly.hpp"
+
+#include <algorithm>
+
+#include "util/time_format.hpp"
+
+namespace psched::metrics {
+
+WeeklySeries weekly_series(const SimulationResult& result) {
+  WeeklySeries series;
+  if (result.records.empty()) return series;
+
+  Time last = 0;
+  for (const JobRecord& r : result.records) last = std::max(last, r.finish);
+  const auto weeks = static_cast<std::size_t>(util::week_index(last)) + 1;
+  series.offered_load.assign(weeks, 0.0);
+  series.utilization.assign(weeks, 0.0);
+
+  const double weekly_capacity =
+      static_cast<double>(result.system_size) * static_cast<double>(util::kSecondsPerWeek);
+
+  for (const JobRecord& r : result.records) {
+    // Offered: all of the job's work counts in its submission week.
+    const auto submit_week = static_cast<std::size_t>(util::week_index(r.job.submit));
+    series.offered_load[submit_week] +=
+        static_cast<double>(r.job.nodes) * static_cast<double>(r.executed_runtime()) /
+        weekly_capacity;
+
+    // Utilization: spread the execution interval over the weeks it spans.
+    Time cursor = r.start;
+    while (cursor < r.finish) {
+      const std::int64_t week = util::week_index(cursor);
+      const Time week_end = (week + 1) * util::kSecondsPerWeek;
+      const Time slice_end = std::min(r.finish, week_end);
+      series.utilization[static_cast<std::size_t>(week)] +=
+          static_cast<double>(r.job.nodes) * static_cast<double>(slice_end - cursor) /
+          weekly_capacity;
+      cursor = slice_end;
+    }
+  }
+  return series;
+}
+
+}  // namespace psched::metrics

@@ -1,0 +1,20 @@
+#pragma once
+// Weekly offered-load / achieved-utilization series (paper Figure 3).
+// Offered load of week w: proc-seconds of work *submitted* during w divided
+// by the machine's weekly capacity. Achieved utilization of week w:
+// proc-seconds actually *executed* during w divided by the same capacity.
+
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace psched::metrics {
+
+struct WeeklySeries {
+  std::vector<double> offered_load;
+  std::vector<double> utilization;
+};
+
+WeeklySeries weekly_series(const SimulationResult& result);
+
+}  // namespace psched::metrics

@@ -1,0 +1,261 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psched::sim {
+
+SimulationEngine::SimulationEngine(const Workload& workload, EngineConfig config)
+    : SimulationEngine(workload, std::move(config), nullptr) {}
+
+SimulationEngine::SimulationEngine(const Workload& workload, EngineConfig config,
+                                   std::unique_ptr<Scheduler> scheduler)
+    : workload_(workload),
+      config_(std::move(config)),
+      limiter_(config_.policy.max_runtime),
+      scheduler_(scheduler ? std::move(scheduler) : make_scheduler(config_.policy)),
+      fairshare_(config_.fairshare_decay, config_.fairshare_period,
+                 workload.jobs.empty() ? 0 : workload.jobs.front().submit,
+                 config_.fairshare_update),
+      system_size_(workload.system_size),
+      free_nodes_(workload.system_size) {
+  workload_.validate();
+  scheduler_->attach(*this);
+  now_ = workload_.jobs.empty() ? 0 : workload_.jobs.front().submit;
+
+  result_.policy_name = config_.policy.display_name();
+  result_.system_size = system_size_;
+  result_.original_job_count = workload_.jobs.size();
+  result_.segments_of_original.resize(workload_.jobs.size());
+
+  // Seed the event heap: all segments up front in preprocessing mode, only
+  // segment 0 in chained (checkpoint/restart) mode.
+  for (const Job& original : workload_.jobs) {
+    const std::int32_t count = config_.segment_arrival == SegmentArrival::AtOriginalSubmit
+                                   ? limiter_.segment_count(original)
+                                   : 1;
+    for (std::int32_t s = 0; s < count; ++s) {
+      const Job segment = limiter_.make_segment(original, s, /*id=*/0, original.submit);
+      const JobId record = add_record(segment);
+      events_.push({segment.submit, EventKind::Arrive, record});
+    }
+  }
+}
+
+const Job& SimulationEngine::job(JobId id) const {
+  return result_.records.at(static_cast<std::size_t>(id)).job;
+}
+
+JobId SimulationEngine::add_record(const Job& segment) {
+  const auto record_id = static_cast<JobId>(result_.records.size());
+  JobRecord record;
+  record.job = segment;
+  record.job.id = record_id;
+  result_.records.push_back(record);
+  result_.segments_of_original.at(static_cast<std::size_t>(segment.parent)).push_back(record_id);
+  return record_id;
+}
+
+void SimulationEngine::advance_accounting(Time to) {
+  const Time dt = to - now_;
+  if (dt > 0) {
+    const double seconds = static_cast<double>(dt);
+    result_.busy_proc_seconds += static_cast<double>(running_nodes_) * seconds;
+    const NodeCount idle = system_size_ - running_nodes_;
+    const NodeCount wasted = std::min(waiting_demand_, idle);
+    result_.loc_proc_seconds += static_cast<double>(wasted) * seconds;
+  }
+  fairshare_.advance(to);
+  now_ = to;
+}
+
+void SimulationEngine::record_snapshot(JobId id) {
+  ArrivalSnapshot snapshot;
+  snapshot.id = id;
+  snapshot.at = now_;
+  snapshot.running.reserve(running_state_.size());
+  for (std::size_t i = 0; i < running_state_.size(); ++i) {
+    SnapshotRunning r;
+    r.nodes = running_view_[i].nodes;
+    r.remaining = running_state_[i].actual_end - now_;
+    r.est_remaining = std::max<Time>(1, running_view_[i].est_end - now_);
+    snapshot.running.push_back(r);
+  }
+  snapshot.waiting.reserve(waiting_.size());
+  for (const JobId waiting_id : waiting_) {
+    const Job& j = job(waiting_id);
+    SnapshotWaiting w;
+    w.id = waiting_id;
+    w.nodes = j.nodes;
+    w.runtime = j.runtime;
+    w.wcl = j.wcl;
+    w.submit = j.submit;
+    w.priority = fairshare_.usage(j.user);
+    snapshot.waiting.push_back(w);
+  }
+  result_.snapshots.at(static_cast<std::size_t>(id)) = std::move(snapshot);
+}
+
+void SimulationEngine::deliver_arrival(JobId id) {
+  waiting_.push_back(id);
+  waiting_demand_ += job(id).nodes;
+  if (config_.record_snapshots) record_snapshot(id);
+  scheduler_->on_submit(id);
+}
+
+void SimulationEngine::start_job(JobId id) {
+  const Job& j = job(id);
+  if (j.nodes > free_nodes_)
+    throw std::logic_error("engine: scheduler started " + std::to_string(j.nodes) +
+                           " nodes with only " + std::to_string(free_nodes_) + " free");
+  const auto it = std::find(waiting_.begin(), waiting_.end(), id);
+  if (it == waiting_.end()) throw std::logic_error("engine: started a job that is not waiting");
+  waiting_.erase(it);
+  waiting_demand_ -= j.nodes;
+  free_nodes_ -= j.nodes;
+  running_nodes_ += j.nodes;
+  fairshare_.on_job_start(j.user, j.nodes);
+
+  JobRecord& record = result_.records[static_cast<std::size_t>(id)];
+  record.start = now_;
+  if (result_.first_start == kNoTime || now_ < result_.first_start) result_.first_start = now_;
+
+  Time end = now_ + j.runtime;
+  bool killed = false;
+  if (config_.wcl_enforcement == WclEnforcement::Always && j.wcl < j.runtime) {
+    end = now_ + j.wcl;
+    killed = true;
+  }
+  running_state_.push_back({id, now_ + j.runtime});
+  running_view_.push_back({id, j.nodes, now_, now_ + j.wcl});
+
+  if (killed) {
+    events_.push({end, EventKind::Complete, id});
+    result_.records[static_cast<std::size_t>(id)].killed_at_wcl = true;
+  } else {
+    events_.push({now_ + j.runtime, EventKind::Complete, id});
+    if (config_.wcl_enforcement == WclEnforcement::KillIfNeeded && j.wcl < j.runtime)
+      events_.push({now_ + j.wcl, EventKind::WclCheck, id});
+  }
+}
+
+void SimulationEngine::deliver_completion(JobId id, Time finish, bool killed) {
+  const auto state_it =
+      std::find_if(running_state_.begin(), running_state_.end(),
+                   [id](const RunningState& r) { return r.id == id; });
+  if (state_it == running_state_.end()) return;  // already completed (e.g. killed earlier)
+  const auto index = static_cast<std::size_t>(std::distance(running_state_.begin(), state_it));
+
+  const Job& j = job(id);
+  free_nodes_ += j.nodes;
+  running_nodes_ -= j.nodes;
+  fairshare_.on_job_stop(j.user, j.nodes);
+  running_state_.erase(state_it);
+  running_view_.erase(running_view_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  JobRecord& record = result_.records[static_cast<std::size_t>(id)];
+  record.finish = finish;
+  record.killed_at_wcl = record.killed_at_wcl || killed;
+  if (result_.last_finish == kNoTime || finish > result_.last_finish) result_.last_finish = finish;
+
+  scheduler_->on_complete(id);
+
+  // Chain the next runtime-limit segment, if any (Chained mode only; in
+  // preprocessing mode every segment was seeded at construction).
+  if (config_.segment_arrival == SegmentArrival::Chained) {
+    const Job& original = workload_.jobs.at(static_cast<std::size_t>(j.parent));
+    const std::optional<Job> next = limiter_.next_segment(original, j, finish, /*id=*/0);
+    if (next) {
+      const JobId next_record = add_record(*next);
+      events_.push({finish, EventKind::Arrive, next_record});
+    }
+  }
+}
+
+void SimulationEngine::handle_wcl_check(JobId id) {
+  const auto state_it =
+      std::find_if(running_state_.begin(), running_state_.end(),
+                   [id](const RunningState& r) { return r.id == id; });
+  if (state_it == running_state_.end()) return;  // finished before the check fired
+  const Job& j = job(id);
+  // CPlant semantics: the over-running job dies only if some waiting job
+  // could start with the freed processors.
+  const NodeCount would_be_free = free_nodes_ + j.nodes;
+  const bool needed = std::any_of(waiting_.begin(), waiting_.end(), [&](JobId w) {
+    return job(w).nodes <= would_be_free;
+  });
+  if (needed)
+    deliver_completion(id, now_, /*killed=*/true);
+  else
+    events_.push({now_ + config_.wcl_recheck_interval, EventKind::WclCheck, id});
+}
+
+void SimulationEngine::schedule_timer(Time at) {
+  if (at <= now_) at = now_ + 1;
+  if (pending_timers_.insert(at).second) events_.push({at, EventKind::Timer, kInvalidJob});
+}
+
+SimulationResult SimulationEngine::run() {
+  if (ran_) throw std::logic_error("SimulationEngine::run called twice");
+  ran_ = true;
+  if (config_.record_snapshots) result_.snapshots.resize(result_.records.size());
+
+  std::vector<JobId> starts;
+  while (!events_.empty()) {
+    const Time t = events_.top().at;
+    advance_accounting(t);
+
+    // Drain every event at this instant; completions sort before arrivals,
+    // and chained segment arrivals pushed "now" are picked up here too.
+    while (!events_.empty() && events_.top().at == t) {
+      const Event event = events_.top();
+      events_.pop();
+      switch (event.kind) {
+        case EventKind::Complete:
+          deliver_completion(event.id, t, /*killed=*/false);
+          break;
+        case EventKind::Arrive:
+          // Snapshot storage may need to grow for chained segments.
+          if (config_.record_snapshots &&
+              result_.snapshots.size() < result_.records.size())
+            result_.snapshots.resize(result_.records.size());
+          deliver_arrival(event.id);
+          break;
+        case EventKind::WclCheck:
+          handle_wcl_check(event.id);
+          break;
+        case EventKind::Timer:
+          pending_timers_.erase(t);
+          break;
+      }
+    }
+
+    starts.clear();
+    scheduler_->collect_starts(starts);
+    for (const JobId id : starts) start_job(id);
+
+    if (const std::optional<Time> wake = scheduler_->next_wakeup(); wake && !waiting_.empty())
+      schedule_timer(*wake);
+  }
+
+  if (!waiting_.empty())
+    throw std::logic_error("engine: simulation ended with " + std::to_string(waiting_.size()) +
+                           " jobs still waiting");
+  if (!running_state_.empty())
+    throw std::logic_error("engine: simulation ended with jobs still running");
+
+  return std::move(result_);
+}
+
+SimulationResult simulate(const Workload& workload, const EngineConfig& config) {
+  SimulationEngine engine(workload, config);
+  return engine.run();
+}
+
+SimulationResult simulate_with(const Workload& workload, const EngineConfig& config,
+                               std::unique_ptr<Scheduler> scheduler) {
+  SimulationEngine engine(workload, config, std::move(scheduler));
+  return engine.run();
+}
+
+}  // namespace psched::sim

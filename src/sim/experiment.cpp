@@ -1,0 +1,32 @@
+#include "sim/experiment.hpp"
+
+namespace psched::sim {
+
+ExperimentRunner::ExperimentRunner(Workload workload, EngineConfig base)
+    : workload_(std::move(workload)), base_(std::move(base)) {
+  workload_.validate();
+}
+
+const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy) {
+  const std::string key = policy.display_name();
+  if (const auto it = cache_.find(key); it != cache_.end()) return *it->second;
+
+  auto result = std::make_unique<ExperimentResult>();
+  result->policy = policy;
+  EngineConfig config = base_;
+  config.policy = policy;
+  result->simulation = simulate(workload_, config);
+  result->report = metrics::evaluate(result->simulation);
+  const auto [it, inserted] = cache_.emplace(key, std::move(result));
+  return *it->second;
+}
+
+std::vector<const ExperimentResult*> ExperimentRunner::run_all(
+    const std::vector<PolicyConfig>& policies) {
+  std::vector<const ExperimentResult*> results;
+  results.reserve(policies.size());
+  for (const PolicyConfig& policy : policies) results.push_back(&run(policy));
+  return results;
+}
+
+}  // namespace psched::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Experiment runner: one workload, many policies, cached results. Every
+// figure binary in bench/ funnels through this so repeated policies within a
+// process simulate exactly once.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "sim/engine.hpp"
+
+namespace psched::sim {
+
+struct ExperimentResult {
+  PolicyConfig policy;
+  SimulationResult simulation;
+  metrics::PolicyReport report;
+};
+
+class ExperimentRunner {
+ public:
+  /// `base` supplies everything except the policy (fairshare decay, WCL
+  /// enforcement, snapshot recording). The workload is copied once.
+  ExperimentRunner(Workload workload, EngineConfig base = {});
+
+  /// Simulate `policy` (or return the cached result). Thread-compatible:
+  /// guard with your own synchronization if calling concurrently.
+  const ExperimentResult& run(const PolicyConfig& policy);
+
+  /// Run several policies in order; FST aggregation inside each run already
+  /// uses the global thread pool.
+  std::vector<const ExperimentResult*> run_all(const std::vector<PolicyConfig>& policies);
+
+  const Workload& workload() const { return workload_; }
+  const EngineConfig& base_config() const { return base_; }
+
+ private:
+  Workload workload_;
+  EngineConfig base_;
+  std::map<std::string, std::unique_ptr<ExperimentResult>> cache_;
+};
+
+}  // namespace psched::sim

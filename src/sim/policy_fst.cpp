@@ -1,0 +1,38 @@
+#include "sim/policy_fst.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace psched::sim {
+
+std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
+                                               const EngineConfig& config,
+                                               const PolicyFstOptions& options) {
+  if (config.policy.max_runtime != kNoTime)
+    throw std::invalid_argument(
+        "policy_no_later_arrivals_fst: maximum-runtime policies are not supported");
+
+  const std::size_t n = workload.jobs.size();
+  std::vector<Time> fair_start(n, kNoTime);
+
+  const auto compute_one = [&](std::size_t i) {
+    Workload truncated;
+    truncated.system_size = workload.system_size;
+    truncated.jobs.assign(workload.jobs.begin(),
+                          workload.jobs.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    // ids already match indices; the target is the last job.
+    EngineConfig run = config;
+    run.record_snapshots = false;
+    const SimulationResult result = simulate(truncated, run);
+    fair_start[i] = result.records.at(i).start;
+  };
+
+  if (options.parallel)
+    util::parallel_for(n, compute_one);
+  else
+    for (std::size_t i = 0; i < n; ++i) compute_one(i);
+  return fair_start;
+}
+
+}  // namespace psched::sim

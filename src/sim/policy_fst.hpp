@@ -1,0 +1,27 @@
+#pragma once
+// The earlier Sabin/Sadayappan FST variant discussed in paper section 4: a
+// job's fair start time is its start in a re-run of the *actual scheduling
+// policy* on a universe where no later jobs ever arrive. Directly measures
+// whether later arrivals hurt the job, at the cost of one full simulation
+// per job — O(n^2) in trace length, so intended for small traces and tests
+// (the paper's hybrid metric exists precisely to avoid this cost).
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace psched::sim {
+
+struct PolicyFstOptions {
+  bool parallel = true;
+};
+
+/// fair_start[i] = start of workload.jobs[i] when the simulation is re-run
+/// with every job submitted after jobs[i] removed (same-submit ties with a
+/// lower id are kept). Requires config.policy.max_runtime == kNoTime, since
+/// segment chaining has no well-defined per-original start otherwise.
+std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
+                                               const EngineConfig& config,
+                                               const PolicyFstOptions& options = {});
+
+}  // namespace psched::sim

@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace psched::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[psched:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace psched::util

@@ -1,0 +1,52 @@
+#pragma once
+// Minimal leveled logger. The simulator is deterministic and mostly silent;
+// logging exists for diagnostics in examples and benches.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace psched::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace psched::util

@@ -1,0 +1,56 @@
+#pragma once
+// Small descriptive-statistics toolkit used by trace characterization
+// (Figures 4-7) and the experiment reports.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psched::util {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double total = 0.0;
+};
+
+/// Full summary; empty input yields a zeroed Summary with count == 0.
+Summary summarize(std::span<const double> values);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Linear-interpolated percentile, q in [0, 1]. Empty input returns 0.
+double percentile(std::span<const double> values, double q);
+
+/// Pearson correlation coefficient; 0 if either side is degenerate.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Jain's fairness index of a non-negative sample: (sum x)^2 / (n * sum x^2).
+/// 1.0 means perfectly equal; 1/n means maximally concentrated.
+double jain_fairness_index(std::span<const double> values);
+
+/// Ranks with ties averaged (1-based), helper for spearman and tests.
+std::vector<double> average_ranks(std::span<const double> values);
+
+}  // namespace psched::util

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace psched::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> result = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              std::size_t min_chunk) {
+  if (n == 0) return;
+  min_chunk = std::max<std::size_t>(1, min_chunk);
+  const std::size_t max_chunks = (n + min_chunk - 1) / min_chunk;
+  const std::size_t chunks = std::min(std::max<std::size_t>(1, size() * 4), max_chunks);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  if (chunks == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    if (lo >= hi) break;
+    futures.push_back(submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    // Help drain the queue while waiting so nested parallel_for calls from
+    // worker threads make progress instead of deadlocking.
+    while (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!try_run_one()) future.wait_for(std::chrono::milliseconds(1));
+    }
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn, std::size_t min_chunk) {
+  global_pool().parallel_for(n, fn, min_chunk);
+}
+
+}  // namespace psched::util

@@ -1,0 +1,59 @@
+#pragma once
+// Work-stealing-free, dead-simple thread pool with a blocking parallel_for.
+// Used for the embarrassingly parallel layers of the study: per-job FST
+// computation and running independent policy simulations side by side.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace psched::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n), blocking until all complete. Work is divided
+  /// into contiguous chunks (deterministic partitioning regardless of thread
+  /// timing). Exceptions from fn propagate (first one wins). Safe to call
+  /// from inside a pool task: the waiting thread helps drain the queue, so
+  /// nested parallel_for cannot deadlock.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t min_chunk = 1);
+
+  /// Run one queued task on the calling thread if any is pending.
+  bool try_run_one();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Shared process-wide pool (lazily constructed, hardware concurrency).
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t min_chunk = 1);
+
+}  // namespace psched::util

@@ -1,0 +1,25 @@
+#include "util/time_format.hpp"
+
+#include <cstdio>
+
+namespace psched::util {
+
+std::string format_hms(std::int64_t seconds) {
+  const bool negative = seconds < 0;
+  if (negative) seconds = -seconds;
+  const std::int64_t d = seconds / kSecondsPerDay;
+  const std::int64_t h = (seconds % kSecondsPerDay) / kSecondsPerHour;
+  const std::int64_t m = (seconds % kSecondsPerHour) / kSecondsPerMinute;
+  const std::int64_t s = seconds % kSecondsPerMinute;
+  char buffer[64];
+  if (d > 0)
+    std::snprintf(buffer, sizeof(buffer), "%s%lldd %02lld:%02lld:%02lld", negative ? "-" : "",
+                  static_cast<long long>(d), static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  else
+    std::snprintf(buffer, sizeof(buffer), "%s%02lld:%02lld:%02lld", negative ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m), static_cast<long long>(s));
+  return buffer;
+}
+
+}  // namespace psched::util

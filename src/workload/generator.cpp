@@ -1,0 +1,257 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/categories.hpp"
+#include "util/rng.hpp"
+
+namespace psched::workload {
+
+namespace {
+
+using util::Rng;
+
+/// Node-count sampler for one width category: powers of two dominate
+/// (Figure 4), the rest spread across the bin.
+NodeCount sample_nodes(Rng& rng, int width_cat, NodeCount system_size) {
+  const WidthBounds bounds = width_category_bounds(width_cat, system_size);
+  const NodeCount lo = bounds.lo;
+  const NodeCount hi = std::min(bounds.hi, system_size);
+  if (lo >= hi) return lo;
+  const double roll = rng.uniform01();
+  if (roll < 0.55) {
+    // Largest power of two in the bin (bins are (2^k, 2^{k+1}] above 4).
+    NodeCount p = 1;
+    while (p * 2 <= hi) p *= 2;
+    if (p >= lo) return p;
+  } else if (roll < 0.70) {
+    // Squares and halves users also favour: midpoint-ish round values.
+    const NodeCount mid = lo + (hi - lo) / 2;
+    return mid;
+  }
+  return static_cast<NodeCount>(rng.uniform_int(lo, hi));
+}
+
+/// Runtime sampler within a length category (log-uniform; the open-ended
+/// 2+ days bin is capped by config.longest_runtime).
+Time sample_runtime(Rng& rng, int length_cat, Time longest_runtime) {
+  const LengthBounds bounds = length_category_bounds(length_cat);
+  const Time lo = std::max<Time>(bounds.lo, 30);  // nothing below 30 s
+  const Time hi = length_cat == kLengthCategories - 1 ? longest_runtime : bounds.hi - 1;
+  if (lo >= hi) return lo;
+  const double r = rng.log_uniform(static_cast<double>(lo), static_cast<double>(hi));
+  return std::clamp(static_cast<Time>(std::llround(r)), lo, hi);
+}
+
+/// Clamp helper keeping a runtime inside its length category.
+Time clamp_to_length_bin(Time runtime, int length_cat, Time longest_runtime) {
+  const LengthBounds bounds = length_category_bounds(length_cat);
+  const Time lo = std::max<Time>(bounds.lo, 30);
+  const Time hi = length_cat == kLengthCategories - 1 ? longest_runtime : bounds.hi - 1;
+  return std::clamp(runtime, lo, hi);
+}
+
+/// "Standard" wall-clock-limit values users type into qsub.
+constexpr std::array<Time, 17> kWclGrid = {
+    minutes(5),  minutes(10), minutes(15), minutes(30), hours(1),  hours(2),  hours(4),
+    hours(8),    hours(12),   hours(24),   hours(36),   hours(48), hours(72), hours(96),
+    days(7),     days(14),    days(35)};
+
+Time round_up_to_grid(Time value) {
+  for (const Time grid : kWclGrid)
+    if (grid >= value) return grid;
+  return kWclGrid.back();
+}
+
+/// Diurnal weights for the 24 hours of a day (business hours heavier).
+std::array<double, 24> diurnal_weights(double business_weight) {
+  std::array<double, 24> w{};
+  for (int h = 0; h < 24; ++h) {
+    const bool business = h >= 8 && h < 18;
+    const bool evening = (h >= 18 && h < 23) || h == 7;
+    w[static_cast<std::size_t>(h)] = business ? business_weight : (evening ? 1.3 : 1.0);
+  }
+  return w;
+}
+
+struct UserModel {
+  std::vector<double> activity;           // Zipf activity per user
+  std::vector<double> home_width;         // preferred width category per user
+};
+
+UserModel build_users(Rng& rng, const GeneratorConfig& cfg) {
+  UserModel model;
+  model.activity = util::zipf_weights(static_cast<std::size_t>(cfg.user_count), cfg.zipf_exponent);
+  model.home_width.resize(static_cast<std::size_t>(cfg.user_count));
+  for (double& home : model.home_width)
+    home = rng.uniform_real(0.0, static_cast<double>(kWidthCategories));
+  return model;
+}
+
+UserId pick_user(Rng& rng, const UserModel& model, const GeneratorConfig& cfg, int width_cat) {
+  std::vector<double> weights(model.activity.size());
+  for (std::size_t u = 0; u < weights.size(); ++u) {
+    const double distance = std::abs(model.home_width[u] - (static_cast<double>(width_cat) + 0.5));
+    const double affinity = std::exp(-cfg.width_affinity * distance);
+    weights[u] = model.activity[u] * affinity;
+  }
+  return static_cast<UserId>(rng.categorical(weights));
+}
+
+/// Weekly intensity profile. Figure 3 shows a *bimodal* pattern: many weeks
+/// with offered load well above 100% and stretches of much lighter weeks
+/// ("users submit fewer jobs due to the extremely high queue lengths"), so
+/// the profile is a busy/light Markov chain modulated by lognormal AR(1)
+/// noise with negative autocorrelation (heavy weeks tend to be followed by
+/// lighter ones).
+std::vector<double> weekly_weights(Rng& rng, const GeneratorConfig& cfg, std::size_t n_weeks) {
+  std::vector<double> weights(n_weeks);
+  double x = 0.0;
+  bool busy = rng.flip(cfg.busy_week_fraction);
+  for (std::size_t w = 0; w < n_weeks; ++w) {
+    x = cfg.week_autocorr * x + rng.normal(0.0, cfg.week_sigma);
+    weights[w] = std::exp(x) * (busy ? cfg.busy_week_boost : 1.0);
+    // Markov transition keeps busy/light phases a few weeks long on average.
+    const double stay = busy ? cfg.busy_week_persistence : 1.0 - cfg.busy_week_fraction;
+    if (!rng.flip(stay)) busy = !busy;
+  }
+  return weights;
+}
+
+Time sample_submit(Rng& rng, const GeneratorConfig& cfg, const std::vector<double>& week_w,
+                   const std::array<double, 24>& hour_w) {
+  const std::size_t week = rng.categorical(week_w);
+  // Day of week: weekdays heavier.
+  std::array<double, 7> day_w;
+  for (std::size_t d = 0; d < 7; ++d) day_w[d] = d < 5 ? cfg.weekday_weight : 1.0;
+  const std::size_t day = rng.categorical(day_w);
+  const std::size_t hour = rng.categorical(hour_w);
+  const Time within_hour = rng.uniform_int(0, util::kSecondsPerHour - 1);
+  Time submit = static_cast<Time>(week) * util::kSecondsPerWeek +
+                static_cast<Time>(day) * util::kSecondsPerDay +
+                static_cast<Time>(hour) * util::kSecondsPerHour + within_hour;
+  return std::min(submit, cfg.span - 1);
+}
+
+Time sample_wcl(Rng& rng, const GeneratorConfig& cfg, Time runtime) {
+  if (rng.flip(cfg.underestimate_prob)) {
+    // Job ran past its limit (allowed on CPlant when nodes are idle) or was
+    // recorded with a stale limit: WCL below the actual runtime.
+    const double frac = rng.uniform_real(0.30, 0.95);
+    return std::max<Time>(60, static_cast<Time>(std::llround(static_cast<double>(runtime) * frac)));
+  }
+  const double log_runtime = std::log10(std::max<double>(1.0, static_cast<double>(runtime)));
+  const double mean_log_factor =
+      std::max(cfg.wcl_min_log_mean, cfg.wcl_log_mean_a - cfg.wcl_log_mean_b * log_runtime);
+  const double log_factor = rng.exponential(mean_log_factor);
+  const double factor = std::pow(10.0, std::min(log_factor, 6.0));
+  Time wcl = static_cast<Time>(std::llround(static_cast<double>(runtime) * factor));
+  wcl = std::clamp<Time>(wcl, runtime, cfg.wcl_cap);
+  if (rng.flip(cfg.wcl_round_to_grid_prob)) wcl = std::max(runtime, round_up_to_grid(wcl));
+  return std::min(wcl, cfg.wcl_cap);
+}
+
+}  // namespace
+
+Workload generate_ross_workload(const GeneratorConfig& cfg) {
+  if (cfg.system_size <= 0) throw std::invalid_argument("generator: system_size must be positive");
+  if (cfg.span <= 0) throw std::invalid_argument("generator: span must be positive");
+  if (cfg.user_count <= 0) throw std::invalid_argument("generator: user_count must be positive");
+
+  Rng rng(cfg.seed);
+  const UserModel users = build_users(rng, cfg);
+  const auto n_weeks = static_cast<std::size_t>((cfg.span + util::kSecondsPerWeek - 1) /
+                                                util::kSecondsPerWeek);
+  const std::vector<double> week_w = weekly_weights(rng, cfg, n_weeks);
+  const std::array<double, 24> hour_w = diurnal_weights(cfg.business_hours_weight);
+
+  const CountTable& counts = ross_table1_job_counts();
+  const HoursTable& hours_target = ross_table2_proc_hours();
+
+  Workload workload;
+  workload.system_size = cfg.system_size;
+
+  for (int w = 0; w < kWidthCategories; ++w) {
+    for (int l = 0; l < kLengthCategories; ++l) {
+      const auto wi = static_cast<std::size_t>(w);
+      const auto li = static_cast<std::size_t>(l);
+      const auto cell_count = static_cast<long long>(
+          std::llround(static_cast<double>(counts[wi][li]) * cfg.count_scale));
+      if (cell_count <= 0) continue;
+
+      // Sample widths and provisional runtimes for the whole cell.
+      std::vector<NodeCount> nodes(static_cast<std::size_t>(cell_count));
+      std::vector<Time> runtimes(static_cast<std::size_t>(cell_count));
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i] = sample_nodes(rng, w, cfg.system_size);
+        runtimes[i] = sample_runtime(rng, l, cfg.longest_runtime);
+      }
+
+      // Calibrate the cell's processor-hours toward Table 2 by iteratively
+      // rescaling runtimes inside the bin bounds (clamping caps convergence,
+      // so run a few passes).
+      const double target_proc_seconds = hours_target[wi][li] * 3600.0 * cfg.count_scale;
+      if (target_proc_seconds > 0.0) {
+        for (int pass = 0; pass < 6; ++pass) {
+          double current = 0.0;
+          for (std::size_t i = 0; i < nodes.size(); ++i)
+            current += static_cast<double>(nodes[i]) * static_cast<double>(runtimes[i]);
+          if (current <= 0.0) break;
+          const double scale = target_proc_seconds / current;
+          if (std::abs(scale - 1.0) < 0.01) break;
+          for (std::size_t i = 0; i < runtimes.size(); ++i) {
+            const auto scaled = static_cast<Time>(
+                std::llround(static_cast<double>(runtimes[i]) * scale));
+            runtimes[i] = clamp_to_length_bin(scaled, l, cfg.longest_runtime);
+          }
+        }
+      }
+
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        Job job;
+        job.nodes = nodes[i];
+        job.runtime = runtimes[i];
+        job.user = pick_user(rng, users, cfg, w);
+        job.group = job.user % cfg.group_count;
+        job.submit = sample_submit(rng, cfg, week_w, hour_w);
+        job.wcl = sample_wcl(rng, cfg, job.runtime);
+        workload.jobs.push_back(job);
+      }
+    }
+  }
+
+  workload.normalize();
+  workload.validate();
+  return workload;
+}
+
+Workload generate_small_workload(std::uint64_t seed, std::size_t jobs, NodeCount system_size,
+                                 Time span, std::int32_t user_count) {
+  if (system_size <= 0 || span <= 0 || user_count <= 0)
+    throw std::invalid_argument("generate_small_workload: bad parameters");
+  Rng rng(seed);
+  Workload workload;
+  workload.system_size = system_size;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    Job job;
+    job.submit = rng.uniform_int(0, span - 1);
+    job.nodes = static_cast<NodeCount>(std::clamp<double>(
+        rng.log_uniform(1.0, static_cast<double>(system_size)), 1.0,
+        static_cast<double>(system_size)));
+    job.runtime = static_cast<Time>(rng.log_uniform(60.0, static_cast<double>(hours(30))));
+    const double factor = 1.0 + rng.exponential(1.5);
+    job.wcl = static_cast<Time>(static_cast<double>(job.runtime) * factor);
+    job.user = static_cast<UserId>(rng.uniform_int(0, user_count - 1));
+    job.group = job.user % 4;
+    workload.jobs.push_back(job);
+  }
+  workload.normalize();
+  workload.validate();
+  return workload;
+}
+
+}  // namespace psched::workload

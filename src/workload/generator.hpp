@@ -1,0 +1,80 @@
+#pragma once
+// Synthetic CPlant/Ross workload generator.
+//
+// The paper's trace was never released, so experiments run on a seeded
+// synthetic trace engineered to match the published characterization:
+//   * Table 1: the generator emits *exactly* the published job count in each
+//     width x length category;
+//   * Table 2: per-category processor-hours are calibrated by rescaling
+//     runtimes within category bounds (typically within a few percent);
+//   * Figure 4: node counts prefer powers of two;
+//   * Figures 5-7: wall-clock limits are over-estimated by a factor whose
+//     distribution shrinks with runtime and is independent of width, with a
+//     small fraction of under-estimates (jobs that ran past their limit);
+//   * Figure 3: arrivals follow a bursty weekly process (negatively
+//     autocorrelated week intensities) with diurnal/weekday modulation, so
+//     offered load oscillates between light weeks and >100% weeks;
+//   * a Zipf-activity user population with width-band affinities feeds the
+//     fairshare priority with realistic heavy/light users.
+
+#include <cstdint>
+
+#include "core/job.hpp"
+#include "workload/ross_reference.hpp"
+
+namespace psched::workload {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 20021201;  ///< default: the trace's start date
+  NodeCount system_size = kRossSystemSize;
+  Time span = kRossTraceSpan;  ///< submissions land in [0, span)
+
+  /// Scale all Table 1 cell counts by this factor (rounded, min 0); 1.0
+  /// reproduces the paper, smaller values make quick test traces.
+  double count_scale = 1.0;
+
+  // --- user population -----------------------------------------------------
+  std::int32_t user_count = 64;
+  std::int32_t group_count = 12;
+  double zipf_exponent = 1.1;  ///< user activity skew
+  /// Strength of each user's preference for their home width band
+  /// (0 = none; larger = users stick to their band).
+  double width_affinity = 0.5;
+
+  // --- arrival process ------------------------------------------------------
+  double week_sigma = 0.40;      ///< week-intensity lognormal sigma
+  double week_autocorr = -0.35;  ///< AR(1) coefficient (negative = bursty)
+  /// Figure 3's bimodal load: a busy/light Markov chain over weeks. Busy
+  /// weeks receive busy_week_boost x the base intensity; roughly
+  /// busy_week_fraction of weeks are busy, in runs whose expected length is
+  /// 1 / (1 - busy_week_persistence).
+  double busy_week_fraction = 0.35;
+  double busy_week_boost = 2.2;
+  double busy_week_persistence = 0.55;
+  double weekday_weight = 1.35;  ///< relative to weekend days
+  double business_hours_weight = 2.2;  ///< 8:00-18:00 relative to night
+
+  // --- wall-clock-limit model ----------------------------------------------
+  /// log10 over-estimation factor is Exponential with mean
+  /// max(min_log_factor_mean, a - b*log10(runtime)).
+  double wcl_log_mean_a = 1.45;
+  double wcl_log_mean_b = 0.17;
+  double wcl_min_log_mean = 0.12;
+  double wcl_round_to_grid_prob = 0.7;  ///< users pick "standard" limits
+  double underestimate_prob = 0.025;    ///< runtime ends up > WCL
+  Time wcl_cap = days(35);
+
+  // --- runtime sampling -----------------------------------------------------
+  Time longest_runtime = days(14);  ///< upper bound for the open 2+d bin
+};
+
+/// Generate the synthetic trace. Deterministic in the config (same config =>
+/// byte-identical workload). The result is normalized and validated.
+Workload generate_ross_workload(const GeneratorConfig& config = {});
+
+/// Convenience: small random workload for tests/fuzzing — `jobs` jobs on a
+/// `system_size` machine over `span` seconds, no table calibration.
+Workload generate_small_workload(std::uint64_t seed, std::size_t jobs, NodeCount system_size,
+                                 Time span, std::int32_t user_count = 8);
+
+}  // namespace psched::workload

@@ -1,0 +1,54 @@
+#include "workload/ross_reference.hpp"
+
+namespace psched::workload {
+
+const CountTable& ross_table1_job_counts() {
+  // Columns: 0-15m, 15-60m, 1-4h, 4-8h, 8-16h, 16-24h, 1-2d, 2+d.
+  static const CountTable table = {{
+      {681, 141, 44, 7, 7, 3, 6, 16},          // 1 node
+      {458, 80, 8, 0, 2, 0, 1, 0},             // 2 nodes
+      {672, 440, 273, 55, 26, 3, 5, 5},        // 3-4 nodes
+      {832, 238, 700, 155, 142, 90, 76, 91},   // 5-8 nodes
+      {1032, 131, 347, 206, 260, 141, 205, 160},  // 9-16 nodes
+      {917, 608, 113, 72, 67, 53, 116, 160},   // 17-32 nodes
+      {879, 130, 134, 70, 79, 48, 130, 178},   // 33-64 nodes
+      {494, 72, 78, 31, 49, 24, 53, 76},       // 65-128 nodes
+      {447, 127, 9, 5, 12, 1, 3, 10},          // 129-256 nodes
+      {147, 24, 6, 3, 1, 0, 0, 1},             // 257-512 nodes
+      {51, 18, 1, 0, 0, 0, 0, 0},              // 513+ nodes
+  }};
+  return table;
+}
+
+const HoursTable& ross_table2_proc_hours() {
+  static const HoursTable table = {{
+      {14, 61, 76, 42, 70, 62, 259, 2883},
+      {32, 70, 21, 0, 53, 0, 68, 0},
+      {103, 1197, 2210, 1272, 1030, 213, 614, 1310},
+      {281, 1101, 10263, 6582, 12107, 14118, 18287, 92549},
+      {522, 1102, 12522, 18175, 45859, 42072, 105884, 207496},
+      {968, 6870, 6630, 11008, 22031, 28232, 109166, 363944},
+      {1775, 2895, 15252, 20429, 48457, 48493, 251748, 986649},
+      {1876, 4149, 19125, 17333, 53098, 48296, 179321, 796517},
+      {3273, 12395, 4219, 4322, 27041, 5451, 19030, 183949},
+      {3719, 4723, 5027, 6850, 3888, 0, 0, 30761},
+      {2692, 9503, 0, 3183, 0, 0, 0, 0},
+  }};
+  return table;
+}
+
+long long ross_table1_total_jobs() {
+  long long total = 0;
+  for (const auto& row : ross_table1_job_counts())
+    for (const long long cell : row) total += cell;
+  return total;
+}
+
+double ross_table2_total_proc_hours() {
+  double total = 0.0;
+  for (const auto& row : ross_table2_proc_hours())
+    for (const double cell : row) total += cell;
+  return total;
+}
+
+}  // namespace psched::workload

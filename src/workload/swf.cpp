@@ -1,0 +1,141 @@
+#include "workload/swf.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace psched::workload {
+
+namespace {
+// SWF field indices (0-based) within an 18-field record.
+enum SwfField : std::size_t {
+  kJobNumber = 0,
+  kSubmit = 1,
+  kWait = 2,
+  kRuntime = 3,
+  kAllocatedProcs = 4,
+  kAvgCpu = 5,
+  kUsedMemory = 6,
+  kRequestedProcs = 7,
+  kRequestedTime = 8,
+  kRequestedMemory = 9,
+  kStatus = 10,
+  kUserId = 11,
+  kGroupId = 12,
+  kExecutable = 13,
+  kQueue = 14,
+  kPartition = 15,
+  kPrecedingJob = 16,
+  kThinkTime = 17,
+  kFieldCount = 18,
+};
+
+bool parse_header_int(const std::string& line, const std::string& key, long long& out) {
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  const auto colon = line.find(':', pos);
+  if (colon == std::string::npos) return false;
+  try {
+    out = std::stoll(line.substr(colon + 1));
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+}  // namespace
+
+SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOptions& options) {
+  SwfReadResult result;
+  NodeCount header_nodes = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      long long value = 0;
+      if (parse_header_int(line, "MaxNodes", value) || parse_header_int(line, "MaxProcs", value))
+        header_nodes = std::max(header_nodes, static_cast<NodeCount>(value));
+      continue;
+    }
+    std::istringstream fields(line);
+    std::array<long long, kFieldCount> f{};
+    f.fill(-1);
+    std::size_t n = 0;
+    while (n < kFieldCount && (fields >> f[n])) ++n;
+    if (n < kRequestedTime + 1 && n < kFieldCount) {
+      // Too few fields to be a record; count as skipped noise.
+      ++result.total_records;
+      ++result.skipped_records;
+      continue;
+    }
+    ++result.total_records;
+
+    Job job;
+    job.submit = static_cast<Time>(std::max<long long>(0, f[kSubmit]));
+    job.runtime = static_cast<Time>(f[kRuntime]);
+    long long procs = f[kAllocatedProcs];
+    if (procs <= 0 && options.fallback_to_requested) procs = f[kRequestedProcs];
+    job.nodes = static_cast<NodeCount>(procs);
+    job.wcl = static_cast<Time>(f[kRequestedTime]);
+    if (job.wcl <= 0 && options.fallback_wcl_to_runtime) job.wcl = job.runtime;
+    job.user = static_cast<UserId>(std::max<long long>(0, f[kUserId]));
+    job.group = static_cast<GroupId>(std::max<long long>(0, f[kGroupId]));
+
+    if (job.runtime <= 0 || job.nodes <= 0 || job.wcl <= 0) {
+      if (options.skip_invalid) {
+        ++result.skipped_records;
+        continue;
+      }
+      throw std::invalid_argument("read_swf: invalid record: " + line);
+    }
+    result.workload.jobs.push_back(job);
+  }
+
+  NodeCount widest = 0;
+  for (const Job& job : result.workload.jobs) widest = std::max(widest, job.nodes);
+  result.workload.system_size =
+      system_size > 0 ? system_size : (header_nodes > 0 ? header_nodes : widest);
+  if (result.workload.system_size <= 0) result.workload.system_size = 1;
+  result.workload.normalize();
+  result.workload.validate();
+  return result;
+}
+
+SwfReadResult read_swf_file(const std::string& path, NodeCount system_size,
+                            const SwfReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_swf_file: cannot open " + path);
+  return read_swf(in, system_size, options);
+}
+
+void write_swf(std::ostream& out, const Workload& workload, const std::string& comment) {
+  out << "; SWF V2 trace written by cplant-sched\n";
+  out << "; Comment: " << comment << '\n';
+  out << "; MaxNodes: " << workload.system_size << '\n';
+  out << "; MaxProcs: " << workload.system_size << '\n';
+  out << "; MaxJobs: " << workload.jobs.size() << '\n';
+  out << "; Note: unused SWF fields are -1\n";
+  for (const Job& job : workload.jobs) {
+    out << job.id + 1       // SWF job numbers are 1-based
+        << ' ' << job.submit
+        << ' ' << -1        // wait time: a scheduling outcome, not trace data
+        << ' ' << job.runtime
+        << ' ' << job.nodes
+        << ' ' << -1 << ' ' << -1  // avg cpu, used memory
+        << ' ' << job.nodes
+        << ' ' << job.wcl
+        << ' ' << -1        // requested memory
+        << ' ' << 1         // status: completed
+        << ' ' << job.user
+        << ' ' << job.group
+        << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << '\n';
+  }
+}
+
+void write_swf_file(const std::string& path, const Workload& workload, const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_swf_file: cannot open " + path);
+  write_swf(out, workload, comment);
+}
+
+}  // namespace psched::workload

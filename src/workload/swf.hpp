@@ -1,0 +1,43 @@
+#pragma once
+// Standard Workload Format (SWF) version 2 reader/writer — the trace format
+// of the Feitelson workload archive and the input format of the paper's
+// simulator (section 3.1). Fields we do not model (memory, CPU time, queue,
+// partition, dependencies) are written as -1 and ignored on read.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/job.hpp"
+
+namespace psched::workload {
+
+struct SwfReadOptions {
+  /// Drop records whose runtime or node count is non-positive (failed jobs
+  /// in real traces). When false such records throw.
+  bool skip_invalid = true;
+  /// Use requested processors when the allocated field is missing (<= 0).
+  bool fallback_to_requested = true;
+  /// When the requested-time (WCL) field is missing, substitute the runtime.
+  bool fallback_wcl_to_runtime = true;
+};
+
+struct SwfReadResult {
+  Workload workload;
+  std::size_t total_records = 0;
+  std::size_t skipped_records = 0;
+};
+
+/// Parse an SWF stream. `system_size` <= 0 takes MaxProcs/MaxNodes from the
+/// header comments, or the widest job if absent.
+SwfReadResult read_swf(std::istream& in, NodeCount system_size = 0,
+                       const SwfReadOptions& options = {});
+SwfReadResult read_swf_file(const std::string& path, NodeCount system_size = 0,
+                            const SwfReadOptions& options = {});
+
+/// Serialize a workload as SWF V2 with a descriptive header.
+void write_swf(std::ostream& out, const Workload& workload,
+               const std::string& comment = "synthetic CPlant/Ross workload");
+void write_swf_file(const std::string& path, const Workload& workload,
+                    const std::string& comment = "synthetic CPlant/Ross workload");
+
+}  // namespace psched::workload

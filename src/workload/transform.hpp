@@ -1,0 +1,38 @@
+#pragma once
+// Workload transformations: slicing, filtering, rescaling and perturbing
+// traces. Used to build sensitivity studies (run a policy on each month of
+// the trace, on one user's jobs removed, at 1.2x load, ...) without touching
+// the generator.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/job.hpp"
+
+namespace psched::workload {
+
+/// Jobs submitted in [from, to); submit times are shifted so the slice
+/// starts at 0. Result is normalized.
+Workload slice_by_time(const Workload& workload, Time from, Time to);
+
+/// Keep jobs matching the predicate (normalized, ids renumbered).
+Workload filter_jobs(const Workload& workload,
+                     const std::function<bool(const Job&)>& keep);
+
+/// Multiply every inter-arrival gap by 1/load_factor: load_factor > 1
+/// compresses the trace (more offered load per unit time), < 1 stretches it.
+/// Runtimes and widths are untouched. load_factor must be > 0.
+Workload rescale_load(const Workload& workload, double load_factor);
+
+/// Replace every WCL with runtime * factor (factor >= 1): synthetic accuracy
+/// studies (factor == 1 gives perfect estimates).
+Workload with_estimate_factor(const Workload& workload, double factor);
+
+/// Randomly drop each job with probability `drop_probability` (seeded) —
+/// quick thinning for smoke tests.
+Workload thin(const Workload& workload, double drop_probability, std::uint64_t seed);
+
+/// First `count` jobs by submit order (a "head" of the trace).
+Workload head(const Workload& workload, std::size_t count);
+
+}  // namespace psched::workload

@@ -1,0 +1,106 @@
+#include "core/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace psched {
+namespace {
+
+using test::make_job;
+
+TEST(Job, ValidateJobCatchesEachField) {
+  Job good = make_job(0, 100, 4);
+  good.id = 0;
+  EXPECT_TRUE(validate_job(good, 16).empty());
+
+  Job bad = good;
+  bad.nodes = 0;
+  EXPECT_FALSE(validate_job(bad, 16).empty());
+  bad = good;
+  bad.nodes = 32;
+  EXPECT_FALSE(validate_job(bad, 16).empty());  // wider than machine
+  bad = good;
+  bad.runtime = 0;
+  EXPECT_FALSE(validate_job(bad, 16).empty());
+  bad = good;
+  bad.wcl = -5;
+  EXPECT_FALSE(validate_job(bad, 16).empty());
+  bad = good;
+  bad.submit = -1;
+  EXPECT_FALSE(validate_job(bad, 16).empty());
+  bad = good;
+  bad.user = -2;
+  EXPECT_FALSE(validate_job(bad, 16).empty());
+}
+
+TEST(Job, ProcSeconds) {
+  const Job job = make_job(0, 3600, 8);
+  EXPECT_DOUBLE_EQ(job.proc_seconds(), 8.0 * 3600.0);
+}
+
+TEST(Workload, NormalizeSortsAndRenumbers) {
+  Workload w;
+  w.system_size = 8;
+  w.jobs = {make_job(100, 10, 1), make_job(50, 10, 1), make_job(75, 10, 1)};
+  w.normalize();
+  EXPECT_EQ(w.jobs[0].submit, 50);
+  EXPECT_EQ(w.jobs[1].submit, 75);
+  EXPECT_EQ(w.jobs[2].submit, 100);
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) EXPECT_EQ(w.jobs[i].id, static_cast<JobId>(i));
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Workload, NormalizeIsStableForTies) {
+  Workload w;
+  w.system_size = 8;
+  Job a = make_job(10, 10, 1);
+  a.user = 1;
+  Job b = make_job(10, 20, 2);
+  b.user = 2;
+  w.jobs = {a, b};
+  w.normalize();
+  EXPECT_EQ(w.jobs[0].user, 1);  // original order preserved on equal submit
+  EXPECT_EQ(w.jobs[1].user, 2);
+}
+
+TEST(Workload, ValidateRejectsUnsorted) {
+  Workload w;
+  w.system_size = 8;
+  w.jobs = {make_job(100, 10, 1), make_job(50, 10, 1)};
+  w.jobs[0].id = 0;
+  w.jobs[1].id = 1;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(Workload, ValidateRejectsIdMismatch) {
+  Workload w;
+  w.system_size = 8;
+  w.jobs = {make_job(0, 10, 1)};
+  w.jobs[0].id = 5;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(Workload, ValidateRejectsBadSystemSize) {
+  Workload w;
+  w.system_size = 0;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(Workload, Aggregates) {
+  Workload w;
+  w.system_size = 8;
+  w.jobs = {make_job(5, 100, 2), make_job(10, 200, 4)};
+  w.normalize();
+  EXPECT_DOUBLE_EQ(w.total_proc_seconds(), 2.0 * 100 + 4.0 * 200);
+  EXPECT_EQ(w.earliest_submit(), 5);
+  EXPECT_EQ(w.latest_submit(), 10);
+
+  const Workload empty{{}, 8};
+  EXPECT_EQ(empty.earliest_submit(), kNoTime);
+  EXPECT_EQ(empty.latest_submit(), kNoTime);
+  EXPECT_DOUBLE_EQ(empty.total_proc_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace psched

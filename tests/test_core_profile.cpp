@@ -1,0 +1,208 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace psched {
+namespace {
+
+TEST(Profile, StartsFullyFree) {
+  Profile p(64, 100);
+  EXPECT_EQ(p.free_at(100), 64);
+  EXPECT_EQ(p.free_at(1'000'000), 64);
+  EXPECT_EQ(p.breakpoints(), 1u);
+  EXPECT_NO_THROW(p.check_invariants());
+}
+
+TEST(Profile, RejectsBadCapacity) {
+  EXPECT_THROW(Profile(0, 0), std::invalid_argument);
+  EXPECT_THROW(Profile(-3, 0), std::invalid_argument);
+}
+
+TEST(Profile, AddUsageCreatesStep) {
+  Profile p(10, 0);
+  p.add_usage(5, 15, 4);
+  EXPECT_EQ(p.free_at(0), 10);
+  EXPECT_EQ(p.free_at(4), 10);
+  EXPECT_EQ(p.free_at(5), 6);
+  EXPECT_EQ(p.free_at(14), 6);
+  EXPECT_EQ(p.free_at(15), 10);
+  EXPECT_NO_THROW(p.check_invariants());
+}
+
+TEST(Profile, OverlappingUsageStacks) {
+  Profile p(10, 0);
+  p.add_usage(0, 10, 3);
+  p.add_usage(5, 15, 3);
+  EXPECT_EQ(p.free_at(0), 7);
+  EXPECT_EQ(p.free_at(5), 4);
+  EXPECT_EQ(p.free_at(10), 7);
+  EXPECT_EQ(p.free_at(15), 10);
+}
+
+TEST(Profile, OverReservationThrows) {
+  Profile p(10, 0);
+  p.add_usage(0, 10, 8);
+  EXPECT_THROW(p.add_usage(5, 6, 3), std::logic_error);
+  // Failed adds may leave extra breakpoints but never negative capacity.
+  EXPECT_GE(p.free_at(5), 0);
+}
+
+TEST(Profile, RemoveUsageRestores) {
+  Profile p(10, 0);
+  p.add_usage(2, 8, 5);
+  p.remove_usage(2, 8, 5);
+  EXPECT_EQ(p.free_at(2), 10);
+  EXPECT_EQ(p.breakpoints(), 1u);  // coalesced back to a single step
+  EXPECT_THROW(p.remove_usage(0, 1, 1), std::logic_error);  // above capacity
+}
+
+TEST(Profile, ZeroSpansAreNoOps) {
+  Profile p(10, 0);
+  p.add_usage(5, 5, 3);   // empty interval
+  p.add_usage(5, 10, 0);  // zero nodes
+  EXPECT_EQ(p.breakpoints(), 1u);
+  EXPECT_THROW(p.add_usage(0, 5, -1), std::invalid_argument);
+}
+
+TEST(Profile, UsageBeforeOriginThrows) {
+  Profile p(10, 100);
+  EXPECT_THROW(p.add_usage(50, 150, 1), std::logic_error);
+  EXPECT_THROW(p.free_at(50), std::logic_error);
+}
+
+TEST(Profile, FitsAtChecksWholeWindow) {
+  Profile p(10, 0);
+  p.add_usage(10, 20, 8);
+  EXPECT_TRUE(p.fits_at(0, 10, 5));    // ends exactly when usage starts
+  EXPECT_FALSE(p.fits_at(0, 11, 5));   // spills into the busy region
+  EXPECT_TRUE(p.fits_at(0, 11, 2));    // narrow enough to coexist
+  EXPECT_TRUE(p.fits_at(20, 1000, 10));
+  EXPECT_FALSE(p.fits_at(-5, 1, 1));   // before origin
+  EXPECT_FALSE(p.fits_at(0, 1, 11));   // wider than machine
+}
+
+TEST(Profile, EarliestFitImmediate) {
+  Profile p(10, 0);
+  EXPECT_EQ(p.earliest_fit(0, 100, 10), 0);
+  EXPECT_EQ(p.earliest_fit(42, 100, 1), 42);
+}
+
+TEST(Profile, EarliestFitAfterBusyPeriod) {
+  Profile p(10, 0);
+  p.add_usage(0, 50, 8);
+  EXPECT_EQ(p.earliest_fit(0, 10, 2), 0);    // fits beside
+  EXPECT_EQ(p.earliest_fit(0, 10, 3), 50);   // must wait for the release
+  EXPECT_EQ(p.earliest_fit(60, 10, 3), 60);  // searching later is fine
+}
+
+TEST(Profile, EarliestFitFindsHole) {
+  Profile p(10, 0);
+  p.add_usage(0, 10, 9);
+  p.add_usage(20, 30, 9);
+  // A 10-second, 5-node job fits exactly in the [10, 20) hole.
+  EXPECT_EQ(p.earliest_fit(0, 10, 5), 10);
+  // An 11-second job cannot use the hole and must go after the second block.
+  EXPECT_EQ(p.earliest_fit(0, 11, 5), 30);
+}
+
+TEST(Profile, EarliestFitSkipsMultipleBlocks) {
+  Profile p(4, 0);
+  p.add_usage(0, 10, 4);
+  p.add_usage(12, 20, 3);
+  p.add_usage(25, 40, 4);
+  // 2-node 6-second job: hole [10,12) too short, [20,25) too short, so 40.
+  EXPECT_EQ(p.earliest_fit(0, 6, 2), 40);
+  // 2-second job fits at 10.
+  EXPECT_EQ(p.earliest_fit(0, 2, 2), 10);
+  // 1-node job fits beside the 3-node block at 10..20? free=1 at [12,20).
+  EXPECT_EQ(p.earliest_fit(0, 10, 1), 10);
+}
+
+TEST(Profile, EarliestFitRejectsTooWide) {
+  Profile p(8, 0);
+  EXPECT_THROW(p.earliest_fit(0, 10, 9), std::invalid_argument);
+}
+
+TEST(Profile, ReserveThenStartAtReservation) {
+  // The conservative pattern: reserve, later re-find the same slot.
+  Profile p(10, 0);
+  p.add_usage(0, 100, 6);         // running job
+  const Time slot = p.earliest_fit(0, 50, 6);
+  EXPECT_EQ(slot, 100);
+  p.add_usage(slot, slot + 50, 6);
+  // A narrow job can still backfill before the reservation.
+  EXPECT_EQ(p.earliest_fit(0, 100, 4), 0);
+  // Another 6-node job has to go after the reserved block.
+  EXPECT_EQ(p.earliest_fit(0, 10, 6), 150);
+}
+
+TEST(Profile, ResetClearsEverything) {
+  Profile p(10, 0);
+  p.add_usage(0, 10, 5);
+  p.reset(500);
+  EXPECT_EQ(p.origin(), 500);
+  EXPECT_EQ(p.free_at(500), 10);
+  EXPECT_EQ(p.breakpoints(), 1u);
+}
+
+TEST(Profile, CoalesceKeepsBreakpointCountSmall) {
+  Profile p(100, 0);
+  for (int i = 0; i < 50; ++i) p.add_usage(i * 10, i * 10 + 10, 1);
+  // All adjacent intervals have equal free counts -> coalesced into few steps.
+  EXPECT_LE(p.breakpoints(), 3u);
+}
+
+TEST(Profile, RandomizedInvariantFuzz) {
+  util::Rng rng(99);
+  Profile p(32, 0);
+  std::vector<std::tuple<Time, Time, NodeCount>> added;
+  for (int i = 0; i < 500; ++i) {
+    if (!added.empty() && rng.flip(0.4)) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(added.size()) - 1));
+      const auto [from, to, n] = added[pick];
+      p.remove_usage(from, to, n);
+      added.erase(added.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const Time from = rng.uniform_int(0, 1000);
+      const Time to = from + rng.uniform_int(1, 100);
+      const auto n = static_cast<NodeCount>(rng.uniform_int(1, 8));
+      if (p.fits_at(from, to - from, n)) {
+        p.add_usage(from, to, n);
+        added.push_back({from, to, n});
+      }
+    }
+    ASSERT_NO_THROW(p.check_invariants());
+  }
+  for (const auto& [from, to, n] : added) p.remove_usage(from, to, n);
+  EXPECT_EQ(p.breakpoints(), 1u);
+  EXPECT_EQ(p.free_at(0), 32);
+}
+
+TEST(Profile, EarliestFitAgreesWithFitsAt) {
+  util::Rng rng(7);
+  Profile p(16, 0);
+  for (int i = 0; i < 40; ++i) {
+    const Time from = rng.uniform_int(0, 500);
+    const Time to = from + rng.uniform_int(1, 80);
+    const auto n = static_cast<NodeCount>(rng.uniform_int(1, 4));
+    if (p.fits_at(from, to - from, n)) p.add_usage(from, to, n);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const Time earliest = rng.uniform_int(0, 600);
+    const Time duration = rng.uniform_int(1, 120);
+    const auto nodes = static_cast<NodeCount>(rng.uniform_int(1, 16));
+    const Time found = p.earliest_fit(earliest, duration, nodes);
+    ASSERT_GE(found, earliest);
+    ASSERT_TRUE(p.fits_at(found, duration, nodes))
+        << "slot at " << found << " does not actually fit";
+    // Minimality: no earlier breakpoint-aligned start fits.
+    for (Time t = earliest; t < found; t += std::max<Time>(1, (found - earliest) / 13))
+      ASSERT_FALSE(p.fits_at(t, duration, nodes)) << "earlier start " << t << " fits";
+  }
+}
+
+}  // namespace
+}  // namespace psched

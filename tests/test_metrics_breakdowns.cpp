@@ -1,0 +1,97 @@
+#include "metrics/breakdowns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/standard.hpp"
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::metrics {
+namespace {
+
+using test::make_job;
+using test::make_workload;
+using test::run_policy;
+
+TEST(LengthBreakdown, CountsAndAverages) {
+  const Workload w = make_workload(8, {
+                                          make_job(0, minutes(5), 2),   // 0-15m
+                                          make_job(0, minutes(10), 2),  // 0-15m
+                                          make_job(0, hours(2), 2),     // 1-4h
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Fcfs);
+  const LengthBreakdown b = length_breakdown(r);
+  EXPECT_EQ(b.jobs[0], 2u);
+  EXPECT_EQ(b.jobs[2], 1u);
+  EXPECT_EQ(b.jobs[7], 0u);
+  EXPECT_GT(b.avg_turnaround[0], 0.0);
+  EXPECT_DOUBLE_EQ(b.avg_turnaround[7], 0.0);
+}
+
+TEST(LengthBreakdown, WithFstMisses) {
+  const Workload w = psched::workload::generate_small_workload(101, 200, 32, days(4));
+  const SimulationResult r = run_policy(w, PolicyKind::Cplant, PriorityKind::Fairshare);
+  const FstResult fst = hybrid_fairshare_fst(r);
+  const LengthBreakdown b = length_breakdown(r, &fst);
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < kLengthCategories; ++l) {
+    weighted += b.avg_miss[l] * static_cast<double>(b.jobs[l]);
+    total += b.jobs[l];
+  }
+  EXPECT_EQ(total, r.records.size());
+  EXPECT_NEAR(weighted / static_cast<double>(total), fst.avg_miss_all, 1e-6);
+}
+
+TEST(LengthBreakdown, MismatchedFstThrows) {
+  const Workload w = make_workload(8, {make_job(0, 100, 2)});
+  const SimulationResult r = run_policy(w, PolicyKind::Fcfs);
+  FstResult wrong;
+  wrong.miss = {0, 0, 0};
+  EXPECT_THROW(length_breakdown(r, &wrong), std::invalid_argument);
+}
+
+TEST(UserBreakdown, SortsHeaviestFirst) {
+  const Workload w = make_workload(8, {
+                                          make_job(0, hours(10), 8, /*user=*/3),  // heavy
+                                          make_job(0, minutes(10), 1, /*user=*/1),
+                                          make_job(10, minutes(10), 1, /*user=*/1),
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Fcfs);
+  const auto users = user_breakdown(r);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].user, 3);
+  EXPECT_EQ(users[0].jobs, 1u);
+  EXPECT_EQ(users[1].user, 1);
+  EXPECT_EQ(users[1].jobs, 2u);
+  EXPECT_GT(users[0].proc_seconds, users[1].proc_seconds);
+}
+
+TEST(UserBreakdown, UnfairFractionWithFst) {
+  const Workload w = psched::workload::generate_small_workload(103, 200, 32, days(4));
+  const SimulationResult r = run_policy(w, PolicyKind::Cplant, PriorityKind::Fairshare);
+  const FstResult fst = hybrid_fairshare_fst(r);
+  const auto users = user_breakdown(r, &fst, /*tolerance=*/1);
+  std::size_t jobs = 0;
+  for (const UserSummary& u : users) {
+    jobs += u.jobs;
+    EXPECT_GE(u.unfair_fraction, 0.0);
+    EXPECT_LE(u.unfair_fraction, 1.0);
+  }
+  EXPECT_EQ(jobs, r.records.size());
+}
+
+TEST(WaitDistribution, MatchesStandardMetrics) {
+  const Workload w = psched::workload::generate_small_workload(107, 150, 32, days(3));
+  const SimulationResult r = run_policy(w, PolicyKind::Easy);
+  const util::Summary waits = wait_distribution(r);
+  const StandardMetrics m = compute_standard(r);
+  EXPECT_EQ(waits.count, r.records.size());
+  EXPECT_NEAR(waits.mean, m.avg_wait, 1e-9);
+  EXPECT_NEAR(waits.max, m.max_wait, 1e-9);
+  EXPECT_GE(waits.p99, waits.median);
+}
+
+}  // namespace
+}  // namespace psched::metrics

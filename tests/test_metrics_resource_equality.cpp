@@ -1,0 +1,85 @@
+#include "metrics/resource_equality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::metrics {
+namespace {
+
+using test::make_job;
+using test::make_workload;
+using test::run_policy;
+
+TEST(ResourceEquality, SoloJobGetsWholeShareWhileRunning) {
+  SimulationResult r;
+  r.system_size = 4;
+  JobRecord a;
+  a.job = make_job(0, 100, 4);
+  a.job.id = 0;
+  a.start = 0;
+  a.finish = 100;
+  r.records = {a};
+  const ResourceEquality eq = resource_equality(r);
+  // Deserved: 4 nodes for 100 s (only live job); received the same.
+  EXPECT_DOUBLE_EQ(eq.deserved[0], 400.0);
+  EXPECT_DOUBLE_EQ(eq.received[0], 400.0);
+  EXPECT_DOUBLE_EQ(eq.deficit[0], 0.0);
+  EXPECT_DOUBLE_EQ(eq.normalized_deficit, 0.0);
+  EXPECT_DOUBLE_EQ(eq.jain_index, 1.0);
+}
+
+TEST(ResourceEquality, QueuedJobAccruesDeficit) {
+  SimulationResult r;
+  r.system_size = 4;
+  JobRecord a;  // runs [0, 100) on the whole machine
+  a.job = make_job(0, 100, 4);
+  a.job.id = 0;
+  a.start = 0;
+  a.finish = 100;
+  JobRecord b;  // waits [0, 100), runs [100, 200)
+  b.job = make_job(0, 100, 4);
+  b.job.id = 1;
+  b.start = 100;
+  b.finish = 200;
+  r.records = {a, b};
+  const ResourceEquality eq = resource_equality(r);
+  // While both live (0..100): each deserves 2 nodes. a receives 4, b gets 0.
+  EXPECT_DOUBLE_EQ(eq.deserved[1], 2.0 * 100 + 4.0 * 100);
+  EXPECT_DOUBLE_EQ(eq.received[1], 400.0);
+  EXPECT_DOUBLE_EQ(eq.deficit[1], 200.0);
+  EXPECT_DOUBLE_EQ(eq.deficit[0], 0.0);  // a got more than its share
+  EXPECT_GT(eq.normalized_deficit, 0.0);
+  EXPECT_LT(eq.jain_index, 1.0);
+}
+
+TEST(ResourceEquality, EmptyResult) {
+  const ResourceEquality eq = resource_equality(SimulationResult{});
+  EXPECT_TRUE(eq.received.empty());
+  EXPECT_DOUBLE_EQ(eq.normalized_deficit, 0.0);
+}
+
+TEST(ResourceEquality, ComparableAcrossSchedulers) {
+  // The metric needs no reference schedule: it can rank policies directly.
+  const Workload w = psched::workload::generate_small_workload(67, 300, 48, days(6));
+  const SimulationResult strict_fcfs = run_policy(w, PolicyKind::Fcfs);
+  const SimulationResult easy = run_policy(w, PolicyKind::Easy);
+  const ResourceEquality eq_fcfs = resource_equality(strict_fcfs);
+  const ResourceEquality eq_easy = resource_equality(easy);
+  // Backfilling wastes less, so the total deficit share shrinks.
+  EXPECT_LT(eq_easy.normalized_deficit, eq_fcfs.normalized_deficit);
+  for (std::size_t i = 0; i < eq_easy.deficit.size(); ++i) EXPECT_GE(eq_easy.deficit[i], 0.0);
+}
+
+TEST(ResourceEquality, JainIndexWithinBounds) {
+  const Workload w = psched::workload::generate_small_workload(71, 200, 32, days(5));
+  const SimulationResult r = run_policy(w, PolicyKind::Cplant, PriorityKind::Fairshare);
+  const ResourceEquality eq = resource_equality(r);
+  EXPECT_GT(eq.jain_index, 0.0);
+  EXPECT_LE(eq.jain_index, 1.0);
+}
+
+}  // namespace
+}  // namespace psched::metrics

@@ -1,0 +1,177 @@
+#include "core/conservative_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace psched {
+namespace {
+
+using test::make_job;
+using test::make_workload;
+using test::run_policy;
+
+TEST(ConservativeScheduler, EveryJobGetsReservationOnArrival) {
+  // Same Figure-2 scenario as EASY: conservative also backfills, but here the
+  // backfiller's reservation exists from arrival.
+  const Workload w = make_workload(8, {
+                                          make_job(0, 100, 6),
+                                          make_job(1, 50, 4),
+                                          make_job(2, 50, 2),
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[1].start, 100);
+  EXPECT_EQ(r.records[2].start, 2);
+}
+
+TEST(ConservativeScheduler, BackfillMayDelayNobody) {
+  // Unlike EASY (which only protects the head), conservative protects every
+  // queued job's reservation. J1 and J2 cannot share the machine, so J2 is
+  // reserved behind J1; the narrow J3 threads through both reservations'
+  // leftover nodes and starts immediately (benign backfilling).
+  const Workload w = make_workload(8, {
+                                          make_job(0, 100, 6),   // running
+                                          make_job(1, 50, 4),    // reserved [100, 150)
+                                          make_job(2, 60, 6),    // 4+6 > 8 -> reserved [150, 210)
+                                          make_job(3, 300, 2),   // 2 nodes spare everywhere
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[1].start, 100);
+  EXPECT_EQ(r.records[2].start, 150);
+  EXPECT_EQ(r.records[3].start, 3);
+}
+
+TEST(ConservativeScheduler, BackfillBlockedByNarrowerMargin) {
+  // Same shape but J3 needs 3 nodes: [150, 210) only has 8-6 = 2 spare, so
+  // J3 must wait until J2's reservation ends.
+  const Workload w = make_workload(8, {
+                                          make_job(0, 100, 6),
+                                          make_job(1, 50, 4),
+                                          make_job(2, 60, 6),
+                                          make_job(3, 300, 3),
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[1].start, 100);
+  EXPECT_EQ(r.records[2].start, 150);
+  // J2 completes at 210; J3's earliest feasible window begins there.
+  EXPECT_EQ(r.records[3].start, 210);
+}
+
+TEST(ConservativeScheduler, ArrivalCannotDisplaceExistingReservation) {
+  const Workload w = make_workload(4, {
+                                          make_job(0, 100, 4),  // running until 100
+                                          make_job(1, 100, 4),  // reserved [100, 200)
+                                          make_job(2, 10, 4),   // must go after, not before
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[1].start, 100);
+  EXPECT_EQ(r.records[2].start, 200);
+}
+
+TEST(ConservativeScheduler, CompressionOnEarlyCompletion) {
+  // The running job's WCL is 200 but it really finishes at 50; the queued
+  // job's reservation (made at WCL-based t=200) compresses to 50.
+  const Workload w = make_workload(4, {
+                                          make_job(0, 50, 4, 0, /*wcl=*/200),
+                                          make_job(1, 10, 4, 1),
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[1].start, 50);
+}
+
+TEST(ConservativeScheduler, CompressionFollowsPriorityOrder) {
+  // Two queued jobs could each use freed space, but only one fits. Under
+  // fairshare priority the lighter user's job gets the first improvement
+  // attempt even though it arrived later.
+  sim::EngineConfig config;
+  config.policy.kind = PolicyKind::Conservative;
+  config.policy.priority = PriorityKind::Fairshare;
+  const Workload w = make_workload(
+      4, {
+             make_job(0, days(2), 4, /*user=*/0, /*wcl=*/days(3)),  // heavy user runs 2 days
+             make_job(days(1), hours(2), 4, /*user=*/0),            // heavy user queued first
+             make_job(days(1) + 10, hours(2), 4, /*user=*/1),       // light user queued later
+         });
+  const SimulationResult r = sim::simulate(w, config);
+  // At the 2-day completion (earlier than the 3-day WCL), the improvement
+  // pass runs in fairshare order: user 1 (no published usage) beats user 0.
+  EXPECT_LT(r.records[2].start, r.records[1].start);
+}
+
+TEST(ConservativeScheduler, StaticKeepsFcfsFeelForEqualPriorities) {
+  // With FCFS priority, conservative degenerates to arrival-ordered
+  // reservations.
+  const Workload w = make_workload(2, {
+                                          make_job(0, 100, 2),
+                                          make_job(1, 100, 2),
+                                          make_job(2, 100, 2),
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[0].start, 0);
+  EXPECT_EQ(r.records[1].start, 100);
+  EXPECT_EQ(r.records[2].start, 200);
+}
+
+TEST(ConservativeDynamic, ReplanFollowsPriorityEveryEvent) {
+  // Dynamic reservations: the light user's later arrival takes the earlier
+  // slot because the whole plan is rebuilt in fairshare order.
+  sim::EngineConfig config;
+  config.policy.kind = PolicyKind::ConservativeDynamic;
+  const Workload w = make_workload(
+      4, {
+             make_job(0, days(2), 4, /*user=*/0),            // heavy user
+             make_job(days(1), hours(2), 4, /*user=*/0),     // heavy user's next job
+             make_job(days(1) + 50, hours(2), 4, /*user=*/1)  // light user, later
+         });
+  const SimulationResult r = sim::simulate(w, config);
+  EXPECT_LT(r.records[2].start, r.records[1].start);
+}
+
+TEST(ConservativeDynamic, StaticReservationHoldsWhereDynamicSlides) {
+  // Scenario where a stream of light-user jobs overtakes a heavy user's wide
+  // job under dynamic reservations, but static conservative honours the
+  // wide job's arrival-time reservation.
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, days(2), 4, /*user=*/0));      // usage for user 0
+  jobs.push_back(make_job(days(1), hours(3), 4, 0));        // wide job, heavy user
+  for (int i = 0; i < 30; ++i)
+    jobs.push_back(make_job(days(1) + 100 + i * 60, hours(3), 4, 1 + i % 3));
+  const Workload w = make_workload(4, jobs);
+
+  sim::EngineConfig stat;
+  stat.policy.kind = PolicyKind::Conservative;
+  sim::EngineConfig dyn;
+  dyn.policy.kind = PolicyKind::ConservativeDynamic;
+  const SimulationResult rs = sim::simulate(w, stat);
+  const SimulationResult rd = sim::simulate(w, dyn);
+  EXPECT_LE(rs.records[1].start, rd.records[1].start);
+  test::expect_no_overallocation(rs);
+  test::expect_no_overallocation(rd);
+}
+
+TEST(ConservativeScheduler, OverrunningJobDefersReservations) {
+  // Running job's WCL is 50 but it actually runs 100: the queued wide job's
+  // reservation (at 50, WCL-based) cannot start then; it starts at 100.
+  const Workload w = make_workload(4, {
+                                          make_job(0, 100, 4, 0, /*wcl=*/50),
+                                          make_job(1, 10, 4, 1),
+                                      });
+  const SimulationResult r = run_policy(w, PolicyKind::Conservative);
+  EXPECT_EQ(r.records[1].start, 100);
+  test::expect_no_overallocation(r);
+}
+
+TEST(ConservativeScheduler, InvariantsOnRandomTraces) {
+  for (const bool dynamic : {false, true}) {
+    const Workload w = psched::workload::generate_small_workload(31, 350, 96, days(9));
+    const SimulationResult r = run_policy(
+        w, dynamic ? PolicyKind::ConservativeDynamic : PolicyKind::Conservative);
+    test::expect_no_overallocation(r);
+    test::expect_complete_and_causal(r);
+  }
+}
+
+}  // namespace
+}  // namespace psched

@@ -1,0 +1,74 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/policy_fst.hpp"
+#include "test_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::sim {
+namespace {
+
+TEST(ExperimentRunner, CachesByPolicyName) {
+  const Workload w = psched::workload::generate_small_workload(3, 100, 32, days(2));
+  ExperimentRunner runner(w);
+  const ExperimentResult& first = runner.run(paper_policy(PaperPolicy::Cplant24NomaxAll));
+  const ExperimentResult& second = runner.run(paper_policy(PaperPolicy::Cplant24NomaxAll));
+  EXPECT_EQ(&first, &second);  // same cached object
+}
+
+TEST(ExperimentRunner, RunAllCoversEveryPolicy) {
+  const Workload w = psched::workload::generate_small_workload(5, 80, 32, days(2));
+  ExperimentRunner runner(w);
+  const auto results = runner.run_all(all_paper_policies());
+  ASSERT_EQ(results.size(), 9u);
+  for (const ExperimentResult* r : results) {
+    EXPECT_FALSE(r->report.policy.empty());
+    EXPECT_EQ(r->simulation.original_job_count, w.jobs.size());
+    EXPECT_GT(r->report.standard.avg_turnaround, 0.0);
+  }
+  // All nine simulated distinctly.
+  for (std::size_t i = 0; i < results.size(); ++i)
+    for (std::size_t j = i + 1; j < results.size(); ++j) EXPECT_NE(results[i], results[j]);
+}
+
+TEST(ExperimentRunner, ReportsAreInternallyConsistent) {
+  const Workload w = psched::workload::generate_small_workload(7, 120, 32, days(3));
+  ExperimentRunner runner(w);
+  const ExperimentResult& r = runner.run(paper_policy(PaperPolicy::ConsNomax));
+  EXPECT_EQ(r.report.fairness.fair_start.size(), r.simulation.records.size());
+  EXPECT_EQ(r.report.standard.job_count, r.simulation.records.size());
+}
+
+TEST(PolicyFst, MatchesDirectSimulationForLastJob) {
+  const Workload w = psched::workload::generate_small_workload(9, 60, 16, days(1));
+  EngineConfig config;
+  config.policy.kind = PolicyKind::Easy;
+  const std::vector<Time> fst = policy_no_later_arrivals_fst(w, config);
+  ASSERT_EQ(fst.size(), w.jobs.size());
+  // The last job's truncated universe is the full workload.
+  const SimulationResult full = simulate(w, config);
+  EXPECT_EQ(fst.back(), full.records.back().start);
+  // No later arrivals can only help: FST <= actual start never violated by
+  // more than scheduling-policy noise for FCFS-priority EASY.
+  for (std::size_t i = 0; i < fst.size(); ++i) EXPECT_GE(fst[i], w.jobs[i].submit);
+}
+
+TEST(PolicyFst, RejectsMaxRuntimePolicies) {
+  const Workload w = psched::workload::generate_small_workload(11, 20, 16, days(1));
+  EngineConfig config;
+  config.policy.max_runtime = hours(72);
+  EXPECT_THROW(policy_no_later_arrivals_fst(w, config), std::invalid_argument);
+}
+
+TEST(PolicyFst, SerialAndParallelAgree) {
+  const Workload w = psched::workload::generate_small_workload(13, 50, 16, days(1));
+  EngineConfig config;
+  PolicyFstOptions serial{.parallel = false};
+  PolicyFstOptions parallel{.parallel = true};
+  EXPECT_EQ(policy_no_later_arrivals_fst(w, config, serial),
+            policy_no_later_arrivals_fst(w, config, parallel));
+}
+
+}  // namespace
+}  // namespace psched::sim

@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::util {
+namespace {
+
+/// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (const LogLevel level :
+       {LogLevel::Debug, LogLevel::Info, LogLevel::Warn, LogLevel::Error, LogLevel::Off}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, BelowThresholdIsCheap) {
+  set_log_level(LogLevel::Off);
+  // Message arguments must not be evaluated when the level filters them out.
+  bool evaluated = false;
+  auto expensive = [&evaluated] {
+    evaluated = true;
+    return std::string("payload");
+  };
+  if (log_level() <= LogLevel::Debug) log_debug("never ", expensive());
+  EXPECT_FALSE(evaluated);
+}
+
+TEST_F(LoggingTest, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(detail::concat("jobs=", 42, " util=", 0.5), "jobs=42 util=0.5");
+  EXPECT_EQ(detail::concat("solo"), "solo");
+}
+
+TEST_F(LoggingTest, EmitDoesNotThrow) {
+  set_log_level(LogLevel::Error);
+  EXPECT_NO_THROW(log_error("error path exercised"));
+  EXPECT_NO_THROW(log_warn("filtered out"));
+}
+
+}  // namespace
+}  // namespace psched::util

@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace psched::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());  // same salt, same state -> same stream
+  Rng c3 = parent.fork(2);
+  EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.log_uniform(10.0, 1.0e6);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 1.0e6 + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(rng.log_uniform(5.0, 5.0), 5.0);
+  EXPECT_THROW(rng.log_uniform(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.log_uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformIsScaleFree) {
+  // Roughly equal mass per decade across three decades.
+  Rng rng(7);
+  int decade[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i) {
+    const double v = rng.log_uniform(1.0, 1000.0);
+    ++decade[std::min(2, static_cast<int>(std::log10(v)))];
+  }
+  for (const int count : decade) {
+    EXPECT_GT(count, 2500);
+    EXPECT_LT(count, 3500);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(5.0);
+  EXPECT_NEAR(total / n, 5.0, 0.15);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(9);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(10);
+  EXPECT_THROW(rng.categorical(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ZipfWeightsShape) {
+  const std::vector<double> w = zipf_weights(4, 1.0);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_GT(w[2], w[3]);
+}
+
+TEST(Rng, SplitmixAvalanche) {
+  // Single-bit input changes flip roughly half the output bits.
+  const std::uint64_t a = splitmix64(0x1234);
+  const std::uint64_t b = splitmix64(0x1235);
+  const int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+}  // namespace
+}  // namespace psched::util

@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psched::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);  // classic population-stddev example
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.5), 0.0);
+  const Summary s = summarize(empty);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_THROW(percentile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.total, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> ny{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_THROW(pearson(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{1.0, 8.0, 27.0, 64.0, 125.0};  // monotone, nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, AverageRanksHandleTies) {
+  const std::vector<double> v{10.0, 20.0, 20.0, 30.0};
+  const std::vector<double> r = average_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Stats, JainIndexBounds) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{1.0, 1.0, 1.0, 1.0}), 1.0);
+  // Fully concentrated: index = 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{4.0, 0.0, 0.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{}), 1.0);
+  EXPECT_THROW(jain_fairness_index(std::vector<double>{-1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psched::util

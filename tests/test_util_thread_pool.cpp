@@ -1,0 +1,83 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace psched::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitResultOrderIndependent) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  pool.parallel_for(500, [&total](std::size_t i) { total.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(total.load(), 500L * 499L / 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, MinChunkReducesSplit) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); }, /*min_chunk=*/100);
+  EXPECT_EQ(counter.load(), 10);  // single chunk executed inline
+}
+
+TEST(GlobalPool, IsUsable) {
+  std::atomic<int> counter{0};
+  parallel_for(17, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 17);
+}
+
+}  // namespace
+}  // namespace psched::util

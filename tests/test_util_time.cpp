@@ -1,0 +1,39 @@
+#include "util/time_format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::util {
+namespace {
+
+TEST(TimeUnits, Constants) {
+  EXPECT_EQ(minutes(2), 120);
+  EXPECT_EQ(hours(2), 7200);
+  EXPECT_EQ(days(1), 86400);
+  EXPECT_EQ(weeks(1), 604800);
+}
+
+TEST(FloorDiv, NegativeNumerators) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-4, 2), -2);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(DayWeekIndex, Boundaries) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(86399), 0);
+  EXPECT_EQ(day_index(86400), 1);
+  EXPECT_EQ(week_index(604799), 0);
+  EXPECT_EQ(week_index(604800), 1);
+  EXPECT_EQ(day_index(-1), -1);
+}
+
+TEST(FormatHms, Rendering) {
+  EXPECT_EQ(format_hms(0), "00:00:00");
+  EXPECT_EQ(format_hms(3661), "01:01:01");
+  EXPECT_EQ(format_hms(90061), "1d 01:01:01");
+  EXPECT_EQ(format_hms(-60), "-00:01:00");
+}
+
+}  // namespace
+}  // namespace psched::util

@@ -1,0 +1,116 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::workload {
+namespace {
+
+TEST(Swf, ParsesMinimalRecord) {
+  std::istringstream in(
+      "; MaxNodes: 32\n"
+      "1 100 -1 3600 8 -1 -1 8 7200 -1 1 3 2 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  ASSERT_EQ(result.workload.jobs.size(), 1u);
+  const Job& job = result.workload.jobs[0];
+  EXPECT_EQ(job.submit, 100);
+  EXPECT_EQ(job.runtime, 3600);
+  EXPECT_EQ(job.nodes, 8);
+  EXPECT_EQ(job.wcl, 7200);
+  EXPECT_EQ(job.user, 3);
+  EXPECT_EQ(job.group, 2);
+  EXPECT_EQ(result.workload.system_size, 32);
+}
+
+TEST(Swf, FallsBackToRequestedProcs) {
+  std::istringstream in("1 0 -1 100 -1 -1 -1 16 200 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  ASSERT_EQ(result.workload.jobs.size(), 1u);
+  EXPECT_EQ(result.workload.jobs[0].nodes, 16);
+}
+
+TEST(Swf, FallsBackWclToRuntime) {
+  std::istringstream in("1 0 -1 100 4 -1 -1 4 -1 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  ASSERT_EQ(result.workload.jobs.size(), 1u);
+  EXPECT_EQ(result.workload.jobs[0].wcl, 100);
+}
+
+TEST(Swf, SkipsInvalidRecordsByDefault) {
+  std::istringstream in(
+      "1 0 -1 -1 4 -1 -1 4 100 -1 0 0 0 -1 -1 -1 -1 -1\n"   // failed job (runtime -1)
+      "2 5 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  EXPECT_EQ(result.total_records, 2u);
+  EXPECT_EQ(result.skipped_records, 1u);
+  EXPECT_EQ(result.workload.jobs.size(), 1u);
+}
+
+TEST(Swf, StrictModeThrowsOnInvalid) {
+  std::istringstream in("1 0 -1 -1 4 -1 -1 4 100 -1 0 0 0 -1 -1 -1 -1 -1\n");
+  SwfReadOptions options;
+  options.skip_invalid = false;
+  EXPECT_THROW(read_swf(in, 0, options), std::invalid_argument);
+}
+
+TEST(Swf, SystemSizeFromWidestJobWithoutHeader) {
+  std::istringstream in(
+      "1 0 -1 100 24 -1 -1 24 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100 8 -1 -1 8 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  EXPECT_EQ(result.workload.system_size, 24);
+}
+
+TEST(Swf, ExplicitSystemSizeWins) {
+  std::istringstream in("1 0 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in, /*system_size=*/512);
+  EXPECT_EQ(result.workload.system_size, 512);
+}
+
+TEST(Swf, SortsUnorderedRecords) {
+  std::istringstream in(
+      "1 500 -1 10 1 -1 -1 1 10 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "2 100 -1 10 1 -1 -1 1 10 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  EXPECT_EQ(result.workload.jobs[0].submit, 100);
+  EXPECT_EQ(result.workload.jobs[1].submit, 500);
+}
+
+TEST(Swf, RoundTripPreservesJobs) {
+  const Workload original = generate_small_workload(5, 120, 64, days(3));
+  std::ostringstream out;
+  write_swf(out, original, "round trip test");
+  std::istringstream in(out.str());
+  const SwfReadResult reread = read_swf(in);
+  ASSERT_EQ(reread.workload.jobs.size(), original.jobs.size());
+  EXPECT_EQ(reread.workload.system_size, original.system_size);
+  EXPECT_EQ(reread.skipped_records, 0u);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    const Job& a = original.jobs[i];
+    const Job& b = reread.workload.jobs[i];
+    EXPECT_EQ(a.submit, b.submit);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.wcl, b.wcl);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.group, b.group);
+  }
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), std::runtime_error);
+}
+
+TEST(Swf, EmptyStreamYieldsEmptyWorkload) {
+  std::istringstream in("; just a comment\n\n");
+  const SwfReadResult result = read_swf(in, 8);
+  EXPECT_TRUE(result.workload.jobs.empty());
+  EXPECT_EQ(result.workload.system_size, 8);
+}
+
+}  // namespace
+}  // namespace psched::workload

@@ -1,0 +1,92 @@
+#include "workload/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::workload {
+namespace {
+
+using test::make_job;
+using test::make_workload;
+
+Workload sample() {
+  return make_workload(32, {
+                               make_job(0, 100, 4, 0),
+                               make_job(1000, 200, 8, 1),
+                               make_job(2000, 300, 16, 0),
+                               make_job(3000, 400, 2, 2),
+                           });
+}
+
+TEST(Transform, SliceByTimeShiftsToZero) {
+  const Workload sliced = slice_by_time(sample(), 1000, 3000);
+  ASSERT_EQ(sliced.jobs.size(), 2u);
+  EXPECT_EQ(sliced.jobs[0].submit, 0);
+  EXPECT_EQ(sliced.jobs[1].submit, 1000);
+  EXPECT_EQ(sliced.jobs[0].nodes, 8);
+  EXPECT_THROW(slice_by_time(sample(), 10, 10), std::invalid_argument);
+}
+
+TEST(Transform, FilterJobsByPredicate) {
+  const Workload wide = filter_jobs(sample(), [](const Job& j) { return j.nodes >= 8; });
+  ASSERT_EQ(wide.jobs.size(), 2u);
+  for (const Job& job : wide.jobs) EXPECT_GE(job.nodes, 8);
+  // ids renumbered.
+  EXPECT_EQ(wide.jobs[0].id, 0);
+  EXPECT_EQ(wide.jobs[1].id, 1);
+}
+
+TEST(Transform, RescaleLoadCompresses) {
+  const Workload fast = rescale_load(sample(), 2.0);
+  EXPECT_EQ(fast.jobs[0].submit, 0);
+  EXPECT_EQ(fast.jobs[1].submit, 500);
+  EXPECT_EQ(fast.jobs[3].submit, 1500);
+  // Runtimes untouched.
+  EXPECT_EQ(fast.jobs[1].runtime, 200);
+  EXPECT_THROW(rescale_load(sample(), 0.0), std::invalid_argument);
+}
+
+TEST(Transform, RescaleLoadStretches) {
+  const Workload slow = rescale_load(sample(), 0.5);
+  EXPECT_EQ(slow.jobs[1].submit, 2000);
+  EXPECT_EQ(slow.jobs[3].submit, 6000);
+}
+
+TEST(Transform, WithEstimateFactor) {
+  const Workload perfect = with_estimate_factor(sample(), 1.0);
+  for (const Job& job : perfect.jobs) EXPECT_EQ(job.wcl, job.runtime);
+  const Workload doubled = with_estimate_factor(sample(), 2.0);
+  for (const Job& job : doubled.jobs) EXPECT_EQ(job.wcl, job.runtime * 2);
+  EXPECT_THROW(with_estimate_factor(sample(), 0.5), std::invalid_argument);
+}
+
+TEST(Transform, ThinDropsApproximately) {
+  const Workload big = generate_small_workload(1, 2000, 64, days(5));
+  const Workload thinned = thin(big, 0.5, 42);
+  EXPECT_GT(thinned.jobs.size(), 800u);
+  EXPECT_LT(thinned.jobs.size(), 1200u);
+  // Deterministic in the seed.
+  EXPECT_EQ(thin(big, 0.5, 42).jobs.size(), thinned.jobs.size());
+  EXPECT_THROW(thin(big, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Transform, HeadTakesPrefix) {
+  const Workload first2 = head(sample(), 2);
+  ASSERT_EQ(first2.jobs.size(), 2u);
+  EXPECT_EQ(first2.jobs[1].submit, 1000);
+  EXPECT_EQ(head(sample(), 100).jobs.size(), 4u);
+  EXPECT_TRUE(head(sample(), 0).jobs.empty());
+}
+
+TEST(Transform, TransformsCompose) {
+  const Workload big = generate_small_workload(2, 500, 64, days(10));
+  const Workload composed =
+      rescale_load(slice_by_time(big, days(2), days(8)), 1.5);
+  EXPECT_NO_THROW(composed.validate());
+  EXPECT_LT(composed.jobs.size(), big.jobs.size());
+}
+
+}  // namespace
+}  // namespace psched::workload

@@ -1,0 +1,226 @@
+// psched_run: run scheduling policies on a trace and print the full report.
+//
+//   psched_run [options]
+//     --swf FILE          read an SWF V2 trace (default: synthetic Ross)
+//     --scale S           synthetic trace count scale (default 1.0)
+//     --seed N            synthetic trace seed (default 20021201)
+//     --system-size N     override machine size
+//     --policy NAME       policy to run (repeatable); NAME is one of the
+//                         paper policies (cplant24.nomax.all, cons.72max,
+//                         ...), fcfs, easy, noguarantee, depthN, or
+//                         cons.fcfs. Default: the paper's nine policies.
+//     --decay F           fairshare decay factor per day (default 0.9)
+//     --tolerance SECS    unfairness tolerance (default 86400)
+//     --csv               emit CSV instead of aligned tables
+//     --by-width          also print the per-width breakdown tables
+//     --by-user N         also print the N heaviest users' treatment
+//     --write-swf FILE    dump the (possibly synthetic) trace as SWF and exit
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/breakdowns.hpp"
+#include "metrics/report.hpp"
+#include "sim/experiment.hpp"
+#include "workload/generator.hpp"
+#include "workload/swf.hpp"
+
+namespace {
+
+using namespace psched;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "psched_run: " << message << "\n(run with --help for usage)\n";
+  std::exit(2);
+}
+
+std::optional<PolicyConfig> parse_policy(const std::string& name) {
+  for (const PolicyConfig& policy : all_paper_policies())
+    if (policy.display_name() == name) return policy;
+  PolicyConfig c;
+  if (name == "fcfs") {
+    c.kind = PolicyKind::Fcfs;
+    c.priority = PriorityKind::Fcfs;
+    return c;
+  }
+  if (name == "fcfs.fairshare") {
+    c.kind = PolicyKind::Fcfs;
+    return c;
+  }
+  if (name == "easy") {
+    c.kind = PolicyKind::Easy;
+    c.priority = PriorityKind::Fcfs;
+    return c;
+  }
+  if (name == "easy.fairshare") {
+    c.kind = PolicyKind::Easy;
+    return c;
+  }
+  if (name == "noguarantee") {
+    c.kind = PolicyKind::Cplant;
+    c.starvation_delay = kNoTime;
+    return c;
+  }
+  if (name == "cons.fcfs") {
+    c.kind = PolicyKind::Conservative;
+    c.priority = PriorityKind::Fcfs;
+    return c;
+  }
+  if (name.rfind("depth", 0) == 0) {
+    const int depth = std::atoi(name.c_str() + 5);
+    if (depth >= 1) {
+      c.kind = PolicyKind::Depth;
+      c.reservation_depth = depth;
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+void print_usage() {
+  std::cout <<
+      "psched_run — fairness-aware parallel job scheduling simulator\n"
+      "  --swf FILE | --scale S --seed N   trace source (default synthetic Ross)\n"
+      "  --system-size N                   machine size override\n"
+      "  --policy NAME                     repeatable; default: all nine paper policies\n"
+      "  --decay F --tolerance SECS        fairness knobs\n"
+      "  --csv --by-width --by-user N      output options\n"
+      "  --write-swf FILE                  dump trace and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string swf_path;
+  std::string write_swf_path;
+  double scale = 1.0;
+  std::uint64_t seed = 20021201ULL;
+  NodeCount system_size = 0;
+  double decay = 0.9;
+  Time tolerance = hours(24);
+  bool csv = false;
+  bool by_width = false;
+  int by_user = 0;
+  std::vector<PolicyConfig> policies;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) fail("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--swf") {
+      swf_path = next();
+    } else if (arg == "--write-swf") {
+      write_swf_path = next();
+    } else if (arg == "--scale") {
+      scale = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--system-size") {
+      system_size = static_cast<NodeCount>(std::atoi(next()));
+    } else if (arg == "--policy") {
+      const std::string name = next();
+      const auto policy = parse_policy(name);
+      if (!policy) fail("unknown policy '" + name + "'");
+      policies.push_back(*policy);
+    } else if (arg == "--decay") {
+      decay = std::strtod(next(), nullptr);
+    } else if (arg == "--tolerance") {
+      tolerance = std::atoll(next());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--by-width") {
+      by_width = true;
+    } else if (arg == "--by-user") {
+      by_user = std::atoi(next());
+    } else {
+      fail("unknown option '" + arg + "'");
+    }
+  }
+
+  // Trace.
+  Workload trace;
+  if (!swf_path.empty()) {
+    const workload::SwfReadResult read = workload::read_swf_file(swf_path, system_size);
+    trace = read.workload;
+    std::cout << "# read " << trace.jobs.size() << " jobs from " << swf_path << " (skipped "
+              << read.skipped_records << ")\n";
+  } else {
+    workload::GeneratorConfig generator;
+    generator.seed = seed;
+    generator.count_scale = scale;
+    if (system_size > 0) generator.system_size = system_size;
+    if (scale < 1.0)
+      generator.span = std::max<Time>(weeks(4), static_cast<Time>(
+          static_cast<double>(workload::kRossTraceSpan) * scale));
+    trace = workload::generate_ross_workload(generator);
+    std::cout << "# generated " << trace.jobs.size() << " synthetic jobs (seed " << seed
+              << ", scale " << scale << ")\n";
+  }
+  std::cout << "# machine: " << trace.system_size << " nodes\n";
+
+  if (!write_swf_path.empty()) {
+    workload::write_swf_file(write_swf_path, trace);
+    std::cout << "# wrote " << write_swf_path << '\n';
+    return 0;
+  }
+
+  if (policies.empty()) policies = all_paper_policies();
+
+  sim::EngineConfig base;
+  base.fairshare_decay = decay;
+  sim::ExperimentRunner runner(trace, base);
+
+  std::vector<metrics::PolicyReport> reports;
+  for (const PolicyConfig& policy : policies) {
+    std::cout << "# simulating " << policy.display_name() << "...\n" << std::flush;
+    const sim::ExperimentResult& run = runner.run(policy);
+    metrics::FstOptions options;
+    options.tolerance = tolerance;
+    metrics::PolicyReport report = run.report;
+    if (tolerance != hours(24))
+      report.fairness = metrics::hybrid_fairshare_fst(run.simulation, options);
+    reports.push_back(std::move(report));
+  }
+
+  const util::TextTable fairness = metrics::fairness_summary_table(reports);
+  const util::TextTable performance = metrics::performance_summary_table(reports);
+  std::cout << "\n== fairness ==\n" << (csv ? fairness.csv() : fairness.str())
+            << "\n== performance ==\n" << (csv ? performance.csv() : performance.str());
+
+  if (by_width) {
+    const util::TextTable miss = metrics::miss_by_width_table(reports);
+    const util::TextTable tat = metrics::turnaround_by_width_table(reports);
+    std::cout << "\n== avg miss by width ==\n" << (csv ? miss.csv() : miss.str())
+              << "\n== avg turnaround by width ==\n" << (csv ? tat.csv() : tat.str());
+  }
+
+  if (by_user > 0 && !policies.empty()) {
+    const sim::ExperimentResult& run = runner.run(policies.front());
+    const auto users = metrics::user_breakdown(run.simulation, &run.report.fairness, tolerance);
+    util::TextTable table({"user", "jobs", "proc_hours", "avg_wait_s", "avg_miss_s", "unfair"});
+    for (std::size_t u = 0; u < std::min<std::size_t>(users.size(),
+                                                      static_cast<std::size_t>(by_user));
+         ++u) {
+      const metrics::UserSummary& s = users[u];
+      table.begin_row()
+          .add_int(s.user)
+          .add_int(static_cast<long long>(s.jobs))
+          .add(s.proc_seconds / 3600.0, 0)
+          .add(s.avg_wait, 0)
+          .add(s.avg_miss, 0)
+          .add_percent(s.unfair_fraction);
+    }
+    std::cout << "\n== heaviest users under " << policies.front().display_name() << " ==\n"
+              << (csv ? table.csv() : table.str());
+  }
+  return 0;
+}
