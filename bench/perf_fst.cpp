@@ -1,8 +1,15 @@
 // Hybrid-FST engine throughput: serial vs thread-pool scaling over the
-// per-arrival snapshots of one simulation.
+// per-arrival snapshots of one simulation, plus the preserved seed FST loop
+// (per-snapshot allocation + sort-per-occupy list scheduler) so the recorded
+// BENCH_fst.json baseline carries the fast-path speedup as a measured pair.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/reference_profile.hpp"
 #include "metrics/fst.hpp"
 #include "sim/engine.hpp"
 #include "workload/generator.hpp"
@@ -10,6 +17,31 @@
 namespace {
 
 using namespace psched;
+
+/// The seed per-snapshot FST computation, verbatim: a freshly allocated
+/// per-node list scheduler and a freshly allocated order buffer per snapshot.
+Time reference_snapshot_fst(const ArrivalSnapshot& snapshot, NodeCount system_size,
+                            metrics::FstKnowledge knowledge) {
+  const bool perfect = knowledge == metrics::FstKnowledge::Perfect;
+  reference::ReferenceListScheduler list(system_size, snapshot.at);
+  for (const SnapshotRunning& r : snapshot.running)
+    list.occupy(r.nodes, snapshot.at + std::max<Time>(perfect ? r.remaining : r.est_remaining, 0));
+
+  std::vector<const SnapshotWaiting*> order;
+  order.reserve(snapshot.waiting.size());
+  for (const SnapshotWaiting& w : snapshot.waiting) order.push_back(&w);
+  std::sort(order.begin(), order.end(), [](const SnapshotWaiting* a, const SnapshotWaiting* b) {
+    if (a->priority != b->priority) return a->priority < b->priority;
+    if (a->submit != b->submit) return a->submit < b->submit;
+    return a->id < b->id;
+  });
+
+  for (const SnapshotWaiting* w : order) {
+    const Time start = list.schedule(w->nodes, perfect ? w->runtime : w->wcl, snapshot.at);
+    if (w->id == snapshot.id) return start;
+  }
+  throw std::logic_error("reference_snapshot_fst: target job missing from its own snapshot");
+}
 
 const SimulationResult& fst_input() {
   static const SimulationResult result = [] {
@@ -38,6 +70,19 @@ void BM_HybridFstParallel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
 }
 BENCHMARK(BM_HybridFstParallel)->Unit(benchmark::kMillisecond);
+
+void BM_RefHybridFstSerial(benchmark::State& state) {
+  const SimulationResult& input = fst_input();
+  std::vector<Time> fair_start(input.records.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < input.snapshots.size(); ++i)
+      fair_start[i] = reference_snapshot_fst(input.snapshots[i], input.system_size,
+                                             metrics::FstKnowledge::Estimates);
+    benchmark::DoNotOptimize(fair_start.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
+}
+BENCHMARK(BM_RefHybridFstSerial)->Unit(benchmark::kMillisecond);
 
 void BM_ConsPFst(benchmark::State& state) {
   const SimulationResult& input = fst_input();

@@ -1,9 +1,15 @@
 // Microbenchmarks of the availability Profile (the hot data structure under
 // every backfilling scheduler).
+//
+// Every case is templated over both the optimized Profile and the preserved
+// seed implementation (reference::ReferenceProfile), so the recorded
+// BENCH_profile.json baseline carries the speedup as a measured pair
+// (BM_Profile* vs BM_RefProfile*) rather than a claim.
 
 #include <benchmark/benchmark.h>
 
 #include "core/profile.hpp"
+#include "core/reference_profile.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -11,8 +17,9 @@ namespace {
 using namespace psched;
 
 /// Build a profile with `n` random usage intervals.
-Profile make_profile(std::size_t n, util::Rng& rng) {
-  Profile profile(1524, 0);
+template <typename ProfileT>
+ProfileT make_profile(std::size_t n, util::Rng& rng) {
+  ProfileT profile(1524, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const Time from = rng.uniform_int(0, 500'000);
     const Time duration = rng.uniform_int(600, 86'400);
@@ -22,12 +29,12 @@ Profile make_profile(std::size_t n, util::Rng& rng) {
   return profile;
 }
 
-void BM_ProfileAddUsage(benchmark::State& state) {
-  util::Rng rng(1);
+template <typename ProfileT>
+void run_add_usage(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
-    Profile profile(1524, 0);
+    ProfileT profile(1524, 0);
     state.ResumeTiming();
     for (std::size_t i = 0; i < n; ++i) {
       const Time from = static_cast<Time>(i) * 977 % 500'000;
@@ -37,11 +44,38 @@ void BM_ProfileAddUsage(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_ProfileAddUsage)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_ProfileEarliestFit(benchmark::State& state) {
-  util::Rng rng(2);
-  Profile profile = make_profile(static_cast<std::size_t>(state.range(0)), rng);
+void BM_ProfileAddUsage(benchmark::State& state) { run_add_usage<Profile>(state); }
+void BM_RefProfileAddUsage(benchmark::State& state) {
+  run_add_usage<reference::ReferenceProfile>(state);
+}
+BENCHMARK(BM_ProfileAddUsage)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_RefProfileAddUsage)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ProfileBatchAddUsage(benchmark::State& state) {
+  // The transaction API: many staged reservations, one normalization pass —
+  // the shape of a conservative replan.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Profile profile(1524, 0);
+    state.ResumeTiming();
+    profile.begin_batch();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time from = static_cast<Time>(i) * 977 % 500'000;
+      profile.add_usage(from, from + 3600, 4);
+    }
+    profile.end_batch();
+    benchmark::DoNotOptimize(profile.breakpoints());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProfileBatchAddUsage)->Arg(64)->Arg(256)->Arg(1024);
+
+template <typename ProfileT>
+void run_earliest_fit(benchmark::State& state, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ProfileT profile = make_profile<ProfileT>(static_cast<std::size_t>(state.range(0)), rng);
   Time query = 0;
   for (auto _ : state) {
     query = (query + 7919) % 500'000;
@@ -49,11 +83,42 @@ void BM_ProfileEarliestFit(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ProfileEarliestFit)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_ProfileFitsAt(benchmark::State& state) {
-  util::Rng rng(3);
-  Profile profile = make_profile(static_cast<std::size_t>(state.range(0)), rng);
+void BM_ProfileEarliestFit(benchmark::State& state) { run_earliest_fit<Profile>(state, 2); }
+void BM_RefProfileEarliestFit(benchmark::State& state) {
+  run_earliest_fit<reference::ReferenceProfile>(state, 2);
+}
+BENCHMARK(BM_ProfileEarliestFit)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_RefProfileEarliestFit)->Arg(64)->Arg(256)->Arg(1024);
+
+template <typename ProfileT>
+void run_earliest_fit_contended(benchmark::State& state) {
+  // A near-machine-width job hunting for a long window in a busy profile:
+  // every partially blocked window forces the seed implementation to restart
+  // its scan (quadratic in breakpoints); the sliding-window pass does not.
+  util::Rng rng(6);
+  ProfileT profile = make_profile<ProfileT>(static_cast<std::size_t>(state.range(0)), rng);
+  Time query = 0;
+  for (auto _ : state) {
+    query = (query + 7919) % 500'000;
+    benchmark::DoNotOptimize(profile.earliest_fit(query, 86'400, 1500));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ProfileEarliestFitContended(benchmark::State& state) {
+  run_earliest_fit_contended<Profile>(state);
+}
+void BM_RefProfileEarliestFitContended(benchmark::State& state) {
+  run_earliest_fit_contended<reference::ReferenceProfile>(state);
+}
+BENCHMARK(BM_ProfileEarliestFitContended)->Arg(256)->Arg(1024);
+BENCHMARK(BM_RefProfileEarliestFitContended)->Arg(256)->Arg(1024);
+
+template <typename ProfileT>
+void run_fits_at(benchmark::State& state, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ProfileT profile = make_profile<ProfileT>(static_cast<std::size_t>(state.range(0)), rng);
   Time query = 0;
   for (auto _ : state) {
     query = (query + 104729) % 500'000;
@@ -61,11 +126,18 @@ void BM_ProfileFitsAt(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ProfileFitsAt)->Arg(64)->Arg(1024);
 
-void BM_ProfileReserveRelease(benchmark::State& state) {
+void BM_ProfileFitsAt(benchmark::State& state) { run_fits_at<Profile>(state, 3); }
+void BM_RefProfileFitsAt(benchmark::State& state) {
+  run_fits_at<reference::ReferenceProfile>(state, 3);
+}
+BENCHMARK(BM_ProfileFitsAt)->Arg(64)->Arg(1024);
+BENCHMARK(BM_RefProfileFitsAt)->Arg(64)->Arg(1024);
+
+template <typename ProfileT>
+void run_reserve_release(benchmark::State& state) {
   util::Rng rng(4);
-  Profile profile = make_profile(256, rng);
+  ProfileT profile = make_profile<ProfileT>(256, rng);
   for (auto _ : state) {
     const Time slot = profile.earliest_fit(10'000, 7200, 128);
     profile.add_usage(slot, slot + 7200, 128);
@@ -73,6 +145,12 @@ void BM_ProfileReserveRelease(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
+
+void BM_ProfileReserveRelease(benchmark::State& state) { run_reserve_release<Profile>(state); }
+void BM_RefProfileReserveRelease(benchmark::State& state) {
+  run_reserve_release<reference::ReferenceProfile>(state);
+}
 BENCHMARK(BM_ProfileReserveRelease);
+BENCHMARK(BM_RefProfileReserveRelease);
 
 }  // namespace

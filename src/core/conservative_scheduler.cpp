@@ -17,75 +17,199 @@ std::string ConservativeScheduler::name() const {
 void ConservativeScheduler::on_submit(JobId id) {
   waiting_.push_back(id);
   reservations_.emplace(id, kNoTime);
+  pending_arrivals_.push_back(id);
 }
 
-void ConservativeScheduler::on_complete(JobId) {}
+void ConservativeScheduler::on_complete(JobId id) { pending_completions_.push_back(id); }
 
 Time ConservativeScheduler::reservation(JobId id) const {
   const auto it = reservations_.find(id);
   return it == reservations_.end() ? kNoTime : it->second;
 }
 
-void ConservativeScheduler::replan(Profile& profile) {
-  const Time now = ctx().now();
+void ConservativeScheduler::seed_running_usage(Time now) {
+  if (!plan_ || plan_->capacity() != ctx().total_nodes())
+    plan_.emplace(ctx().total_nodes(), now);
+  else
+    plan_->reset(now);
+  planned_end_.clear();
+  plan_->begin_batch();
+  for (const RunningView& r : ctx().running()) {
+    const Time end = assumed_running_end(r, now);
+    plan_->add_usage(now, end, r.nodes);
+    planned_end_.emplace(r.id, end);
+  }
+  plan_->end_batch();
+}
+
+void ConservativeScheduler::compression_pass(Time now) {
+  Profile& plan = *plan_;
+  bool moved = false;
+  priority_order_ = sorted_by_priority(waiting_, config_.priority);
+  order_fresh_ = true;
+  for (const JobId id : priority_order_) {
+    const Job& job = ctx().job(id);
+    const Time current = reservations_.at(id);
+    plan.remove_usage(current, current + job.wcl, job.nodes);
+    const Time improved = plan.earliest_fit(now, job.wcl, job.nodes);
+    const Time chosen = improved < current ? improved : current;
+    plan.add_usage(chosen, chosen + job.wcl, job.nodes);
+    if (chosen != current) moved = true;
+    reservations_[id] = chosen;
+  }
+  compress_active_ = moved;
+  capacity_freed_ = false;
+}
+
+void ConservativeScheduler::full_replan(Time now) {
+  seed_running_usage(now);
+  Profile& plan = *plan_;
 
   if (config_.dynamic_reservations) {
     // Plan from scratch in priority order at every event.
-    for (const JobId id : sorted_by_priority(waiting_, config_.priority)) {
+    last_order_ = sorted_by_priority(waiting_, config_.priority);
+    for (const JobId id : last_order_) {
       const Job& job = ctx().job(id);
-      const Time start = profile.earliest_fit(now, job.wcl, job.nodes);
-      profile.add_usage(start, start + job.wcl, job.nodes);
+      const Time start = plan.earliest_fit(now, job.wcl, job.nodes);
+      plan.add_usage(start, start + job.wcl, job.nodes);
       reservations_[id] = start;
     }
-    return;
+  } else {
+    // Static conservative. Pass 1: re-seat stored reservations in stored-start
+    // order; a slot only moves later if an over-running job broke it. Brand-new
+    // arrivals (kNoTime) are seated last so they cannot delay anyone.
+    std::vector<JobId> seat_order = waiting_;
+    std::sort(seat_order.begin(), seat_order.end(), [&](JobId a, JobId b) {
+      const Time ra = reservations_.at(a);
+      const Time rb = reservations_.at(b);
+      const Time ka = ra == kNoTime ? std::numeric_limits<Time>::max() : ra;
+      const Time kb = rb == kNoTime ? std::numeric_limits<Time>::max() : rb;
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+    for (const JobId id : seat_order) {
+      const Job& job = ctx().job(id);
+      const Time stored = reservations_.at(id);
+      const Time from = stored == kNoTime ? now : std::max(stored, now);
+      const Time start = plan.earliest_fit(from, job.wcl, job.nodes);
+      plan.add_usage(start, start + job.wcl, job.nodes);
+      reservations_[id] = start;
+    }
+
+    // Pass 2: improvement attempts in priority order — higher-priority jobs get
+    // the first chance at space freed by early completions. A job keeps its
+    // slot unless the found one is strictly earlier.
+    compression_pass(now);
   }
 
-  // Static conservative. Pass 1: re-seat stored reservations in stored-start
-  // order; a slot only moves later if an over-running job broke it. Brand-new
-  // arrivals (kNoTime) are seated last so they cannot delay anyone.
-  std::vector<JobId> seat_order = waiting_;
-  std::sort(seat_order.begin(), seat_order.end(), [&](JobId a, JobId b) {
-    const Time ra = reservations_.at(a);
-    const Time rb = reservations_.at(b);
-    const Time ka = ra == kNoTime ? std::numeric_limits<Time>::max() : ra;
-    const Time kb = rb == kNoTime ? std::numeric_limits<Time>::max() : rb;
-    if (ka != kb) return ka < kb;
-    return a < b;
-  });
-  for (const JobId id : seat_order) {
+  pending_arrivals_.clear();
+  pending_completions_.clear();
+  capacity_freed_ = false;
+}
+
+bool ConservativeScheduler::incremental_replan(Time now) {
+  Profile& plan = *plan_;
+
+  // A completion whose planned usage extends past now frees future capacity.
+  // Static mode handles it by returning the usage and compressing; dynamic
+  // mode must rebuild (every reservation may shift onto the freed space).
+  for (const JobId id : pending_completions_) {
+    const auto it = planned_end_.find(id);
+    if (it == planned_end_.end()) return false;  // job unknown to the plan
+    if (it->second > now) {
+      if (config_.dynamic_reservations) return false;
+      plan.remove_usage(now, it->second, ctx().job(id).nodes);
+      capacity_freed_ = true;
+    }
+    planned_end_.erase(it);
+  }
+  pending_completions_.clear();
+
+  if (config_.dynamic_reservations) {
+    // Replan only the suffix of the priority order that no longer matches
+    // the order the current plan was built in. Jobs launched since remain in
+    // the plan as running usage over exactly their reservation interval, so
+    // eliding them keeps the planning prefix byte-identical.
+    std::vector<JobId> order = sorted_by_priority(waiting_, config_.priority);
+    std::vector<JobId> previous;
+    previous.reserve(last_order_.size());
+    for (const JobId id : last_order_)
+      if (reservations_.count(id) != 0) previous.push_back(id);
+    std::size_t prefix = 0;
+    while (prefix < order.size() && prefix < previous.size() &&
+           order[prefix] == previous[prefix])
+      ++prefix;
+    if (prefix * 2 < order.size()) return false;  // mostly reshuffled: rebuild is cheaper
+    for (std::size_t i = prefix; i < previous.size(); ++i) {
+      const Job& job = ctx().job(previous[i]);
+      const Time start = reservations_.at(previous[i]);
+      plan.remove_usage(start, start + job.wcl, job.nodes);
+    }
+    for (std::size_t i = prefix; i < order.size(); ++i) {
+      const Job& job = ctx().job(order[i]);
+      const Time start = plan.earliest_fit(now, job.wcl, job.nodes);
+      plan.add_usage(start, start + job.wcl, job.nodes);
+      reservations_[order[i]] = start;
+    }
+    last_order_ = std::move(order);
+    pending_arrivals_.clear();
+    return true;
+  }
+
+  // Static mode: existing reservations are untouched by arrivals (the naive
+  // pass 1 re-seats them at exactly their stored slots), so only the new
+  // jobs need seating — last, in record-id order, matching the naive
+  // tie-break for kNoTime entries.
+  std::sort(pending_arrivals_.begin(), pending_arrivals_.end());
+  for (const JobId id : pending_arrivals_) {
     const Job& job = ctx().job(id);
-    const Time stored = reservations_.at(id);
-    const Time from = stored == kNoTime ? now : std::max(stored, now);
-    const Time start = profile.earliest_fit(from, job.wcl, job.nodes);
-    profile.add_usage(start, start + job.wcl, job.nodes);
+    const Time start = plan.earliest_fit(now, job.wcl, job.nodes);
+    plan.add_usage(start, start + job.wcl, job.nodes);
     reservations_[id] = start;
   }
+  pending_arrivals_.clear();
 
-  // Pass 2: improvement attempts in priority order — higher-priority jobs get
-  // the first chance at space freed by early completions. A job keeps its
-  // slot unless the found one is strictly earlier.
-  for (const JobId id : sorted_by_priority(waiting_, config_.priority)) {
-    const Job& job = ctx().job(id);
-    const Time current = reservations_.at(id);
-    profile.remove_usage(current, current + job.wcl, job.nodes);
-    const Time improved = profile.earliest_fit(now, job.wcl, job.nodes);
-    const Time chosen = improved < current ? improved : current;
-    profile.add_usage(chosen, chosen + job.wcl, job.nodes);
-    reservations_[id] = chosen;
-  }
+  // The compression pass is a provable no-op unless capacity was freed or
+  // the previous pass still moved reservations (cascades may continue).
+  if (capacity_freed_ || compress_active_) compression_pass(now);
+  return true;
 }
 
 void ConservativeScheduler::collect_starts(std::vector<JobId>& starts) {
   wakeup_.reset();
+  order_fresh_ = false;
   const Time now = ctx().now();
-  Profile profile(ctx().total_nodes(), now);
-  add_running_to_profile(profile);
-  replan(profile);
+
+  // While any running job over-runs its estimate, its assumed horizon moves
+  // with now and can push reservations around — replan from scratch exactly
+  // like the naive algorithm, and keep doing so until the over-run clears.
+  bool overrun = false;
+  for (const RunningView& r : ctx().running()) {
+    if (r.est_end <= now) {
+      overrun = true;
+      break;
+    }
+  }
+
+  if (!plan_valid_ || overrun) {
+    full_replan(now);
+  } else {
+    plan_->advance_origin(now);
+    if (!incremental_replan(now)) full_replan(now);
+  }
+  plan_valid_ = !overrun;
 
   // Launch everything whose reservation came due, highest priority first.
+  // The replan path usually just computed this exact order (last_order_ in
+  // dynamic mode, the compression pass's sort otherwise); avoid re-sorting.
+  if (config_.dynamic_reservations) {
+    priority_order_ = last_order_;
+  } else if (!order_fresh_) {
+    priority_order_ = sorted_by_priority(waiting_, config_.priority);
+  }
   NodeCount free = ctx().free_nodes();
   std::optional<Time> wake;
-  for (const JobId id : sorted_by_priority(waiting_, config_.priority)) {
+  for (const JobId id : priority_order_) {
     const Time start = reservations_.at(id);
     if (start <= now) {
       const Job& job = ctx().job(id);
@@ -95,6 +219,13 @@ void ConservativeScheduler::collect_starts(std::vector<JobId>& starts) {
       free -= job.nodes;
       reservations_.erase(id);
       waiting_.erase(std::find(waiting_.begin(), waiting_.end(), id));
+      if (start == now) {
+        // The launched job's reservation usage [now, now + wcl) stays in the
+        // plan as its running usage (est_end == now + wcl).
+        planned_end_.emplace(id, now + job.wcl);
+      } else {
+        plan_valid_ = false;  // stale reservation interval; rebuild next event
+      }
     } else if (!wake || start < *wake) {
       wake = start;
     }

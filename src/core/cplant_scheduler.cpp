@@ -51,7 +51,7 @@ void CplantScheduler::collect_starts(std::vector<JobId>& starts) {
 
   const Time now = ctx().now();
   NodeCount free = ctx().free_nodes();
-  Profile profile(ctx().total_nodes(), now);
+  Profile& profile = scratch_profile(now);
   add_running_to_profile(profile);
 
   std::optional<Time> head_reservation;

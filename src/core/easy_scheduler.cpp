@@ -20,7 +20,7 @@ void EasyScheduler::collect_starts(std::vector<JobId>& starts) {
 
   const Time now = ctx().now();
   NodeCount free = ctx().free_nodes();
-  Profile profile(ctx().total_nodes(), now);
+  Profile& profile = scratch_profile(now);
   add_running_to_profile(profile);
 
   std::vector<JobId> order = sorted_by_priority(waiting_, priority_);

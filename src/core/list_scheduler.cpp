@@ -5,42 +5,80 @@
 
 namespace psched {
 
-ListScheduler::ListScheduler(NodeCount nodes, Time origin) {
+ListScheduler::ListScheduler(NodeCount nodes, Time origin) : total_(nodes) {
   if (nodes <= 0) throw std::invalid_argument("ListScheduler: nodes must be positive");
-  avail_.assign(static_cast<std::size_t>(nodes), origin);
+  runs_.push_back({origin, nodes});
+}
+
+void ListScheduler::reset(Time origin) {
+  runs_.clear();
+  runs_.push_back({origin, total_});
+}
+
+void ListScheduler::insert_run(Time t, NodeCount count) {
+  const auto it = std::lower_bound(runs_.begin(), runs_.end(), t,
+                                   [](const Run& r, Time value) { return r.at < value; });
+  if (it != runs_.end() && it->at == t)
+    it->count += count;
+  else
+    runs_.insert(it, {t, count});
 }
 
 void ListScheduler::occupy(NodeCount nodes, Time until) {
-  if (nodes <= 0 || static_cast<std::size_t>(nodes) > avail_.size())
+  if (nodes <= 0 || nodes > total_)
     throw std::invalid_argument("ListScheduler::occupy: bad node count");
-  // The earliest-available nodes are at the front (vector kept sorted).
-  for (std::size_t i = 0; i < static_cast<std::size_t>(nodes); ++i)
-    avail_[i] = std::max(avail_[i], until);
-  std::sort(avail_.begin(), avail_.end());
+  // Of the `nodes` earliest-available nodes, those available before `until`
+  // move to `until`; those already available at or after it are unchanged.
+  // The affected nodes form a prefix of the run list.
+  NodeCount budget = nodes;
+  NodeCount moved = 0;
+  std::size_t i = 0;
+  while (i < runs_.size() && budget > 0 && runs_[i].at < until) {
+    const NodeCount take = std::min(runs_[i].count, budget);
+    runs_[i].count -= take;
+    moved += take;
+    budget -= take;
+    if (runs_[i].count == 0)
+      ++i;  // fully consumed; erased below
+    else
+      break;
+  }
+  if (i > 0) runs_.erase(runs_.begin(), runs_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (moved > 0) insert_run(until, moved);
 }
 
 Time ListScheduler::peek_start(NodeCount nodes, Time earliest) const {
-  if (nodes <= 0 || static_cast<std::size_t>(nodes) > avail_.size())
+  if (nodes <= 0 || nodes > total_)
     throw std::invalid_argument("ListScheduler::peek_start: bad node count");
   // Picking the N earliest-available nodes minimizes the start time; the
   // start is the availability of the N-th of them.
-  return std::max(earliest, avail_[static_cast<std::size_t>(nodes) - 1]);
+  NodeCount remaining = nodes;
+  for (const Run& r : runs_) {
+    remaining -= r.count;
+    if (remaining <= 0) return std::max(earliest, r.at);
+  }
+  throw std::logic_error("ListScheduler::peek_start: run counts out of sync");
 }
 
 Time ListScheduler::schedule(NodeCount nodes, Time duration, Time earliest) {
   if (duration < 0) throw std::invalid_argument("ListScheduler::schedule: negative duration");
   const Time start = peek_start(nodes, earliest);
   const Time end = start + duration;
-  const auto n = static_cast<std::size_t>(nodes);
-  for (std::size_t i = 0; i < n; ++i) avail_[i] = end;
-  // The first n entries were the smallest and are now all `end`; merge back
-  // into sorted order (rotate to the insertion point).
-  const auto insert_at = std::lower_bound(avail_.begin() + static_cast<std::ptrdiff_t>(n),
-                                          avail_.end(), end);
-  std::rotate(avail_.begin(), avail_.begin() + static_cast<std::ptrdiff_t>(n), insert_at);
+  // Consume the N earliest-available nodes (a prefix of the run list; the
+  // last touched run may be consumed only partially).
+  NodeCount budget = nodes;
+  std::size_t i = 0;
+  while (budget > 0) {
+    const NodeCount take = std::min(runs_[i].count, budget);
+    runs_[i].count -= take;
+    budget -= take;
+    if (runs_[i].count == 0) ++i;
+  }
+  if (i > 0) runs_.erase(runs_.begin(), runs_.begin() + static_cast<std::ptrdiff_t>(i));
+  insert_run(end, nodes);
   return start;
 }
 
-Time ListScheduler::earliest_available() const { return avail_.front(); }
+Time ListScheduler::earliest_available() const { return runs_.front().at; }
 
 }  // namespace psched

@@ -6,6 +6,10 @@
 
 namespace psched {
 
+namespace {
+constexpr int kHintProbes = 2;  ///< forward probes before binary search
+}
+
 Profile::Profile(NodeCount capacity, Time origin) : capacity_(capacity), origin_(origin) {
   if (capacity <= 0) throw std::invalid_argument("Profile: capacity must be positive");
   steps_.push_back({origin_, capacity_});
@@ -15,30 +19,90 @@ void Profile::reset(Time origin) {
   origin_ = origin;
   steps_.clear();
   steps_.push_back({origin_, capacity_});
+  hint_ = 0;
+  batch_depth_ = 0;
+  batch_dirty_ = false;
+}
+
+void Profile::advance_origin(Time now) {
+  if (now <= origin_) return;
+  const std::size_t i = step_index(now);
+  if (i > 0) steps_.erase(steps_.begin(), steps_.begin() + static_cast<std::ptrdiff_t>(i));
+  steps_.front().at = now;
+  origin_ = now;
+  hint_ = 0;
 }
 
 std::size_t Profile::step_index(Time t) const {
   if (t < origin_) throw std::logic_error("Profile: time before origin");
-  // Last step with at <= t.
-  const auto it = std::upper_bound(steps_.begin(), steps_.end(), t,
-                                   [](Time value, const Step& s) { return value < s.at; });
-  return static_cast<std::size_t>(std::distance(steps_.begin(), it)) - 1;
+  const std::size_t n = steps_.size();
+  std::size_t i = hint_ < n ? hint_ : n - 1;
+  const auto before = [](Time value, const Step& s) { return value < s.at; };
+  if (steps_[i].at <= t) {
+    // Monotone scans resolve within a few forward probes.
+    for (int probe = 0; probe < kHintProbes; ++probe) {
+      if (i + 1 >= n || steps_[i + 1].at > t) {
+        hint_ = i;
+        return i;
+      }
+      ++i;
+    }
+    const auto it = std::upper_bound(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                                     steps_.end(), t, before);
+    i = static_cast<std::size_t>(std::distance(steps_.begin(), it)) - 1;
+  } else {
+    const auto it =
+        std::upper_bound(steps_.begin(), steps_.begin() + static_cast<std::ptrdiff_t>(i), t, before);
+    i = static_cast<std::size_t>(std::distance(steps_.begin(), it)) - 1;
+  }
+  hint_ = i;
+  return i;
 }
 
 std::size_t Profile::ensure_breakpoint(Time t) {
   const std::size_t i = step_index(t);
   if (steps_[i].at == t) return i;
   steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1, {t, steps_[i].free});
+  hint_ = i + 1;
   return i + 1;
 }
 
-void Profile::coalesce() {
+void Profile::coalesce_range(std::size_t lo, std::size_t hi) {
+  // The mutation changed free counts in [lo, hi); only the adjacency pairs
+  // (i-1, i) for i in [lo, hi] can have become equal.
+  if (lo < 1) lo = 1;
+  const std::size_t end = std::min(hi + 1, steps_.size());
+  if (lo >= end) return;
+  std::size_t out = lo;
+  for (std::size_t i = lo; i < end; ++i) {
+    if (steps_[i].free == steps_[out - 1].free) continue;
+    steps_[out++] = steps_[i];
+  }
+  if (out < end) {
+    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(out),
+                 steps_.begin() + static_cast<std::ptrdiff_t>(end));
+    hint_ = out - 1;
+  }
+}
+
+void Profile::coalesce_all() {
   std::size_t out = 1;
   for (std::size_t i = 1; i < steps_.size(); ++i) {
     if (steps_[i].free == steps_[out - 1].free) continue;
     steps_[out++] = steps_[i];
   }
   steps_.resize(out);
+  hint_ = 0;
+}
+
+void Profile::begin_batch() { ++batch_depth_; }
+
+void Profile::end_batch() {
+  if (batch_depth_ <= 0) throw std::logic_error("Profile::end_batch without begin_batch");
+  if (--batch_depth_ == 0 && batch_dirty_) {
+    coalesce_all();
+    batch_dirty_ = false;
+  }
 }
 
 void Profile::add_usage(Time from, Time to, NodeCount nodes) {
@@ -48,15 +112,24 @@ void Profile::add_usage(Time from, Time to, NodeCount nodes) {
   const std::size_t first = ensure_breakpoint(from);
   const std::size_t last = ensure_breakpoint(to);  // end marker keeps old free value
   // Validate the whole window before mutating so a failed add leaves the
-  // free counts untouched (strong exception safety; stray breakpoints are
-  // harmless and coalesce away later).
+  // free counts untouched (strong exception safety). The breakpoints the
+  // validation may have inserted carry unchanged free counts; drop them
+  // again so a failed call leaves no structural trace either.
   for (std::size_t i = first; i < last; ++i) {
-    if (steps_[i].free < nodes)
-      throw std::logic_error("Profile::add_usage: over-reservation at t=" +
-                             std::to_string(steps_[i].at));
+    if (steps_[i].free < nodes) {
+      const Time bad = steps_[i].at;
+      if (batch_depth_ == 0)
+        coalesce_range(first, last);
+      else
+        batch_dirty_ = true;  // end_batch sweeps the validation breakpoints
+      throw std::logic_error("Profile::add_usage: over-reservation at t=" + std::to_string(bad));
+    }
   }
   for (std::size_t i = first; i < last; ++i) steps_[i].free -= nodes;
-  coalesce();
+  if (batch_depth_ == 0)
+    coalesce_range(first, last);
+  else
+    batch_dirty_ = true;
 }
 
 void Profile::remove_usage(Time from, Time to, NodeCount nodes) {
@@ -66,12 +139,20 @@ void Profile::remove_usage(Time from, Time to, NodeCount nodes) {
   const std::size_t first = ensure_breakpoint(from);
   const std::size_t last = ensure_breakpoint(to);
   for (std::size_t i = first; i < last; ++i) {
-    if (steps_[i].free + nodes > capacity_)
-      throw std::logic_error("Profile::remove_usage: exceeds capacity at t=" +
-                             std::to_string(steps_[i].at));
+    if (steps_[i].free + nodes > capacity_) {
+      const Time bad = steps_[i].at;
+      if (batch_depth_ == 0)
+        coalesce_range(first, last);
+      else
+        batch_dirty_ = true;  // end_batch sweeps the validation breakpoints
+      throw std::logic_error("Profile::remove_usage: exceeds capacity at t=" + std::to_string(bad));
+    }
   }
   for (std::size_t i = first; i < last; ++i) steps_[i].free += nodes;
-  coalesce();
+  if (batch_depth_ == 0)
+    coalesce_range(first, last);
+  else
+    batch_dirty_ = true;
 }
 
 NodeCount Profile::free_at(Time t) const { return steps_[step_index(t)].free; }
@@ -93,35 +174,25 @@ Time Profile::earliest_fit(Time earliest, Time duration, NodeCount nodes) const 
   earliest = std::max(earliest, origin_);
   if (duration <= 0 || nodes <= 0) return earliest;
 
+  // Single forward pass: maintain the start of the current feasible run of
+  // steps; the first candidate whose run extends `duration` past it wins.
+  // The tail step always has free == capacity >= nodes, so the scan always
+  // terminates with a candidate.
+  const std::size_t n = steps_.size();
   std::size_t i = step_index(earliest);
+  bool open = steps_[i].free >= nodes;  // a feasible window is in progress
   Time candidate = earliest;
   for (;;) {
-    // Advance past steps that cannot host the job's start.
-    while (i < steps_.size() && steps_[i].free < nodes) {
-      ++i;
-      if (i == steps_.size()) return candidate;  // unreachable: last step == capacity
-      candidate = steps_[i].at;
-    }
-    // Check the window [candidate, candidate + duration).
-    const Time end = candidate + duration;
-    std::size_t j = i;
-    bool ok = true;
-    while (j < steps_.size() && steps_[j].at < end) {
-      if (steps_[j].free < nodes) {
-        ok = false;
-        break;
+    if (open && (i + 1 >= n || steps_[i + 1].at >= candidate + duration)) return candidate;
+    ++i;
+    if (steps_[i].free >= nodes) {
+      if (!open) {
+        open = true;
+        candidate = steps_[i].at;
       }
-      ++j;
+    } else {
+      open = false;
     }
-    if (ok) return candidate;
-    // Restart after the blocking step.
-    i = j + 1;
-    if (i >= steps_.size()) {
-      // The profile tail always returns to full capacity, so the candidate
-      // after the last breakpoint is feasible.
-      return steps_.back().at;
-    }
-    candidate = steps_[i].at;
   }
 }
 

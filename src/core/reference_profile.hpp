@@ -1,0 +1,80 @@
+#pragma once
+// Reference (pre-optimization) implementations of the availability Profile
+// and the per-node ListScheduler, preserved verbatim from the seed tree.
+//
+// These are the *specification* the optimized hot-path classes in
+// core/profile.hpp and core/list_scheduler.hpp must match bit-for-bit:
+//   * tests/test_core_profile_diff.cpp drives both implementations through
+//     randomized add/remove/earliest_fit sequences and asserts identical
+//     observable behavior;
+//   * bench/perf_profile.cpp and bench/perf_fst.cpp benchmark both, so the
+//     committed BENCH_*.json baselines record the speedup as a measured
+//     fact rather than a claim.
+//
+// Do not optimize this file. Clarity and fidelity to the original algorithms
+// (full-array coalesce on every mutation, restart-on-block earliest_fit,
+// sort-per-occupy list scheduler) are the point.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace psched::reference {
+
+/// Seed availability profile: sorted breakpoints with a full-array coalesce
+/// after every mutation and a windowed earliest_fit that restarts the scan
+/// after each blocking step (quadratic in breakpoints).
+class ReferenceProfile {
+ public:
+  ReferenceProfile(NodeCount capacity, Time origin);
+
+  void reset(Time origin);
+
+  NodeCount capacity() const { return capacity_; }
+  Time origin() const { return origin_; }
+
+  void add_usage(Time from, Time to, NodeCount nodes);
+  void remove_usage(Time from, Time to, NodeCount nodes);
+
+  NodeCount free_at(Time t) const;
+  bool fits_at(Time start, Time duration, NodeCount nodes) const;
+  Time earliest_fit(Time earliest, Time duration, NodeCount nodes) const;
+
+  std::size_t breakpoints() const { return steps_.size(); }
+  void check_invariants() const;
+  std::string debug_string() const;
+
+ private:
+  struct Step {
+    Time at;
+    NodeCount free;
+  };
+
+  std::size_t step_index(Time t) const;
+  std::size_t ensure_breakpoint(Time t);
+  void coalesce();
+
+  NodeCount capacity_;
+  Time origin_;
+  std::vector<Step> steps_;
+};
+
+/// Seed per-node list scheduler: one availability time per node, re-sorted
+/// with std::sort on every occupy() (O(P log P) per running job).
+class ReferenceListScheduler {
+ public:
+  ReferenceListScheduler(NodeCount nodes, Time origin);
+
+  void occupy(NodeCount nodes, Time until);
+  Time schedule(NodeCount nodes, Time duration, Time earliest);
+  Time peek_start(NodeCount nodes, Time earliest) const;
+  NodeCount node_count() const { return static_cast<NodeCount>(avail_.size()); }
+  Time earliest_available() const;
+
+ private:
+  std::vector<Time> avail_;
+};
+
+}  // namespace psched::reference

@@ -21,23 +21,53 @@ bool Scheduler::priority_less(const Job& a, const Job& b, PriorityKind kind) con
 }
 
 std::vector<JobId> Scheduler::sorted_by_priority(std::vector<JobId> ids, PriorityKind kind) const {
-  std::sort(ids.begin(), ids.end(), [&](JobId x, JobId y) {
-    return priority_less(ctx().job(x), ctx().job(y), kind);
+  // Decorate-sort-undecorate: one context/job lookup per id instead of two
+  // virtual calls per comparison. Key order mirrors priority_less exactly.
+  struct Key {
+    double usage;
+    Time submit;
+    JobId id;
+  };
+  std::vector<Key> keys;
+  keys.reserve(ids.size());
+  for (const JobId id : ids) {
+    const Job& job = ctx().job(id);
+    keys.push_back({kind == PriorityKind::Fairshare ? ctx().user_usage(job.user) : 0.0,
+                    job.submit, id});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.usage != b.usage) return a.usage < b.usage;
+    if (a.submit != b.submit) return a.submit < b.submit;
+    return a.id < b.id;
   });
+  for (std::size_t i = 0; i < keys.size(); ++i) ids[i] = keys[i].id;
   return ids;
+}
+
+Time Scheduler::assumed_running_end(const RunningView& r, Time now) {
+  // A job past its estimated end is assumed to keep running for as long as
+  // it has already over-run (at least kOverrunGrace). The growing horizon
+  // keeps reservation recomputations to O(log overrun) instead of stepping
+  // one second at a time.
+  if (r.est_end > now) return r.est_end;
+  return now + std::max<Time>(kOverrunGrace, now - r.est_end);
 }
 
 void Scheduler::add_running_to_profile(Profile& profile) const {
   const Time now = ctx().now();
-  for (const RunningView& r : ctx().running()) {
-    // A job past its estimated end is assumed to keep running for as long as
-    // it has already over-run (at least kOverrunGrace). The growing horizon
-    // keeps reservation recomputations to O(log overrun) instead of stepping
-    // one second at a time.
-    Time end = r.est_end;
-    if (end <= now) end = now + std::max<Time>(kOverrunGrace, now - r.est_end);
-    profile.add_usage(now, end, r.nodes);
-  }
+  profile.begin_batch();
+  for (const RunningView& r : ctx().running())
+    profile.add_usage(now, assumed_running_end(r, now), r.nodes);
+  profile.end_batch();
+}
+
+Profile& Scheduler::scratch_profile(Time now) {
+  const NodeCount capacity = ctx().total_nodes();
+  if (!scratch_profile_ || scratch_profile_->capacity() != capacity)
+    scratch_profile_.emplace(capacity, now);
+  else
+    scratch_profile_->reset(now);
+  return *scratch_profile_;
 }
 
 }  // namespace psched

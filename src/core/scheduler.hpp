@@ -79,6 +79,8 @@ class Scheduler {
   bool priority_less(const Job& a, const Job& b, PriorityKind kind) const;
 
   /// Waiting ids sorted by priority (stable, deterministic tie-breaks).
+  /// Sort keys are materialized once per id instead of re-derived through
+  /// the context on every comparison.
   std::vector<JobId> sorted_by_priority(std::vector<JobId> ids, PriorityKind kind) const;
 
   /// Fill `profile` with usage of all running jobs. Jobs past their
@@ -87,11 +89,23 @@ class Scheduler {
   /// over-runners from triggering per-second replans.
   void add_running_to_profile(Profile& profile) const;
 
+  /// Shared per-scheduler scratch profile, reset to "all free from now".
+  /// Lazily sized to ctx().total_nodes(); reusing it across scheduling
+  /// events avoids re-allocating the step vector on every event.
+  Profile& scratch_profile(Time now);
+
+  /// Assumed end of a running job's usage at time `now`: its estimated end,
+  /// or — once it has over-run — an exponential-backoff horizon of
+  /// max(kOverrunGrace, elapsed overrun) more seconds. The single source of
+  /// truth for every policy's profile seeding.
+  static Time assumed_running_end(const RunningView& r, Time now);
+
   /// Minimum assumed remaining runtime for a job past its WCL.
   static constexpr Time kOverrunGrace = 300;
 
  private:
   const SchedulerContext* ctx_ = nullptr;
+  std::optional<Profile> scratch_profile_;
 };
 
 }  // namespace psched

@@ -1,6 +1,7 @@
 #include "metrics/fst.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "core/list_scheduler.hpp"
@@ -11,19 +12,36 @@ namespace psched::metrics {
 
 namespace {
 
+/// Reusable per-thread state for the per-job FST loop. One simulation can
+/// have thousands of snapshots; reusing the list scheduler and the sort
+/// buffer keeps the loop allocation-free after warm-up.
+struct FstScratch {
+  std::optional<ListScheduler> list;
+  std::vector<const SnapshotWaiting*> order;
+
+  ListScheduler& list_for(NodeCount system_size, Time origin) {
+    if (!list || list->node_count() != system_size)
+      list.emplace(system_size, origin);
+    else
+      list->reset(origin);
+    return *list;
+  }
+};
+
 /// FST of one snapshot: list-schedule the waiting set in fairshare priority
 /// order on top of the running jobs; return the target job's start.
-Time snapshot_fst(const ArrivalSnapshot& snapshot, NodeCount system_size,
-                  FstKnowledge knowledge) {
+Time snapshot_fst(const ArrivalSnapshot& snapshot, NodeCount system_size, FstKnowledge knowledge,
+                  FstScratch& scratch) {
   const bool perfect = knowledge == FstKnowledge::Perfect;
-  ListScheduler list(system_size, snapshot.at);
+  ListScheduler& list = scratch.list_for(system_size, snapshot.at);
   for (const SnapshotRunning& r : snapshot.running)
     list.occupy(r.nodes, snapshot.at + std::max<Time>(perfect ? r.remaining : r.est_remaining, 0));
 
   // Fairshare order: lower decayed usage first; ties by submit then id —
   // identical to Scheduler::priority_less so the metric matches the policy's
   // notion of a socially just order.
-  std::vector<const SnapshotWaiting*> order;
+  std::vector<const SnapshotWaiting*>& order = scratch.order;
+  order.clear();
   order.reserve(snapshot.waiting.size());
   for (const SnapshotWaiting& w : snapshot.waiting) order.push_back(&w);
   std::sort(order.begin(), order.end(), [](const SnapshotWaiting* a, const SnapshotWaiting* b) {
@@ -95,7 +113,9 @@ FstResult hybrid_fairshare_fst(const SimulationResult& result, const FstOptions&
   fst.fair_start.assign(n, kNoTime);
 
   const auto compute_one = [&](std::size_t i) {
-    fst.fair_start[i] = snapshot_fst(result.snapshots[i], result.system_size, options.knowledge);
+    thread_local FstScratch scratch;
+    fst.fair_start[i] =
+        snapshot_fst(result.snapshots[i], result.system_size, options.knowledge, scratch);
   };
   if (options.parallel)
     util::parallel_for(n, compute_one, /*min_chunk=*/16);

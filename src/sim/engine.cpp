@@ -96,7 +96,21 @@ void SimulationEngine::record_snapshot(JobId id) {
   result_.snapshots.at(static_cast<std::size_t>(id)) = std::move(snapshot);
 }
 
+void SimulationEngine::remove_waiting(JobId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= waiting_pos_.size() || waiting_pos_[idx] < 0)
+    throw std::logic_error("engine: started a job that is not waiting");
+  const auto pos = static_cast<std::size_t>(waiting_pos_[idx]);
+  const JobId moved = waiting_.back();
+  waiting_[pos] = moved;
+  waiting_pos_[static_cast<std::size_t>(moved)] = static_cast<std::int32_t>(pos);
+  waiting_.pop_back();
+  waiting_pos_[idx] = -1;
+}
+
 void SimulationEngine::deliver_arrival(JobId id) {
+  if (waiting_pos_.size() < result_.records.size()) waiting_pos_.resize(result_.records.size(), -1);
+  waiting_pos_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(waiting_.size());
   waiting_.push_back(id);
   waiting_demand_ += job(id).nodes;
   if (config_.record_snapshots) record_snapshot(id);
@@ -108,9 +122,7 @@ void SimulationEngine::start_job(JobId id) {
   if (j.nodes > free_nodes_)
     throw std::logic_error("engine: scheduler started " + std::to_string(j.nodes) +
                            " nodes with only " + std::to_string(free_nodes_) + " free");
-  const auto it = std::find(waiting_.begin(), waiting_.end(), id);
-  if (it == waiting_.end()) throw std::logic_error("engine: started a job that is not waiting");
-  waiting_.erase(it);
+  remove_waiting(id);
   waiting_demand_ -= j.nodes;
   free_nodes_ -= j.nodes;
   running_nodes_ += j.nodes;

@@ -109,6 +109,10 @@ class SimulationEngine final : public SchedulerContext {
   void start_job(JobId id);
   void handle_wcl_check(JobId id);
   void schedule_timer(Time at);
+  /// O(1) removal from the waiting set (swap-pop via the position index).
+  /// The waiting set is unordered; consumers that need an order sort by
+  /// their own keys.
+  void remove_waiting(JobId id);
 
   const Workload& workload_;
   EngineConfig config_;
@@ -127,7 +131,8 @@ class SimulationEngine final : public SchedulerContext {
   SimulationResult result_;
   std::vector<RunningState> running_state_;   // parallel to running_view_
   std::vector<RunningView> running_view_;
-  std::vector<JobId> waiting_;                // record ids not yet started
+  std::vector<JobId> waiting_;                // record ids not yet started (unordered)
+  std::vector<std::int32_t> waiting_pos_;     // record id -> index in waiting_ (-1 = absent)
   NodeCount waiting_demand_ = 0;              // sum of waiting nodes
   NodeCount running_nodes_ = 0;
 };

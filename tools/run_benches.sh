@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build Release and refresh the committed benchmark baselines:
+#   BENCH_profile.json     <- bench/perf_profile
+#   BENCH_schedulers.json  <- bench/perf_schedulers + bench/perf_list_scheduler
+#   BENCH_fst.json         <- bench/perf_fst
+# Each file records per-case ns/op and the speedup of the optimized hot path
+# over the preserved seed implementations (BM_Ref* cases), so every future PR
+# has a perf trajectory to compare against.
+#
+# Env knobs:
+#   PSCHED_BENCH_MIN_TIME   min seconds per benchmark case (default 0.2)
+#   PSCHED_BENCH_BUILD_DIR  build directory (default build-bench)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${PSCHED_BENCH_BUILD_DIR:-build-bench}"
+MIN_TIME="${PSCHED_BENCH_MIN_TIME:-0.2}"
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DPSCHED_BUILD_BENCH=ON >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target perf_profile --target perf_list_scheduler \
+  --target perf_schedulers --target perf_fst
+
+run_bench() {
+  echo "== $1 =="
+  "$BUILD/$1" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$BUILD/$1.json" \
+    --benchmark_out_format=json
+}
+
+run_bench perf_profile
+run_bench perf_list_scheduler
+run_bench perf_schedulers
+run_bench perf_fst
+
+python3 tools/summarize_benches.py BENCH_profile.json "$BUILD/perf_profile.json"
+python3 tools/summarize_benches.py BENCH_schedulers.json \
+  "$BUILD/perf_schedulers.json" "$BUILD/perf_list_scheduler.json"
+python3 tools/summarize_benches.py BENCH_fst.json "$BUILD/perf_fst.json"

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Condense google-benchmark JSON output into the committed BENCH_*.json
+baselines: per-case ns/op plus speedup ratios for every optimized/reference
+benchmark pair (BM_Foo vs BM_RefFoo).
+
+Usage: summarize_benches.py OUT.json IN1.json [IN2.json ...]
+"""
+
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_cases(path):
+    with open(path) as f:
+        raw = json.load(f)
+    cases = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = _UNIT_NS[b.get("time_unit", "ns")]
+        entry = {"ns_per_op": round(b["real_time"] * scale, 2)}
+        if "items_per_second" in b:
+            entry["items_per_second"] = round(b["items_per_second"], 1)
+        cases[b["name"]] = entry
+    return cases
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    out_path, in_paths = sys.argv[1], sys.argv[2:]
+    cases = {}
+    for path in in_paths:
+        cases.update(load_cases(path))
+
+    speedups = {}
+    for name, entry in cases.items():
+        if not name.startswith("BM_Ref"):
+            continue
+        optimized = "BM_" + name[len("BM_Ref"):]
+        if optimized in cases and cases[optimized]["ns_per_op"] > 0:
+            speedups[optimized] = round(entry["ns_per_op"] / cases[optimized]["ns_per_op"], 2)
+
+    summary = {
+        "generated_by": "tools/run_benches.sh",
+        "note": "ns_per_op is wall time per benchmark iteration; "
+                "speedup_vs_reference = reference ns_per_op / optimized ns_per_op "
+                "(reference = preserved seed implementation, see core/reference_profile.hpp)",
+        "cases": dict(sorted(cases.items())),
+        "speedup_vs_reference": dict(sorted(speedups.items())),
+    }
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(cases)} cases, {len(speedups)} speedup pairs)")
+
+
+if __name__ == "__main__":
+    main()
