@@ -8,8 +8,9 @@
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Ablation: fairshare decay factor",

@@ -9,8 +9,9 @@
 #include "metrics/fst.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Ablation: FST knowledge (estimates vs perfect runtimes)",

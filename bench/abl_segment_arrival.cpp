@@ -9,8 +9,9 @@
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Ablation: segment arrival semantics (72 h limit)",

@@ -7,8 +7,9 @@
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Ablation: starvation-queue entry delay",

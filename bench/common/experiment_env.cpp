@@ -18,7 +18,37 @@ std::uint64_t read_env_u64(const char* name, std::uint64_t fallback) {
   if (value == nullptr) return fallback;
   return std::strtoull(value, nullptr, 10);
 }
+
+std::size_t g_jobs = 0;  // 0 = global pool size
 }  // namespace
+
+void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << (argc > 0 ? argv[0] : "experiment")
+                << " — paper figure/table experiment\n"
+                   "  --jobs N   concurrent policy simulations (default: pool size; 1 = serial)\n"
+                   "  env: PSCHED_BENCH_SCALE, PSCHED_BENCH_SEED, PSCHED_THREADS\n";
+      std::exit(0);
+    }
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "experiment: missing value for --jobs\n";
+        std::exit(2);
+      }
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::cerr << "experiment: --jobs must be >= 1\n";
+        std::exit(2);
+      }
+      g_jobs = static_cast<std::size_t>(parsed);
+      continue;
+    }
+    std::cerr << "experiment: unknown option '" << arg << "' (try --help)\n";
+    std::exit(2);
+  }
+}
 
 double bench_scale() {
   static const double scale = std::min(1.0, read_env_double("PSCHED_BENCH_SCALE", 1.0));
@@ -57,12 +87,16 @@ void print_header(const std::string& experiment_id, const std::string& what,
 }
 
 std::vector<metrics::PolicyReport> run_policies(const std::vector<PolicyConfig>& policies) {
+  // No concurrency level in the header: stdout must byte-diff clean across
+  // --jobs values and hosts (the verification contract for the sweep).
+  std::cout << "# sweeping " << policies.size() << " policies:";
+  for (const PolicyConfig& policy : policies) std::cout << ' ' << policy.display_name();
+  std::cout << '\n' << std::flush;
+
+  const auto results = runner().run_all(policies, g_jobs);
   std::vector<metrics::PolicyReport> reports;
-  reports.reserve(policies.size());
-  for (const PolicyConfig& policy : policies) {
-    std::cout << "# simulating " << policy.display_name() << "...\n" << std::flush;
-    reports.push_back(runner().run(policy).report);
-  }
+  reports.reserve(results.size());
+  for (const sim::ExperimentResult* result : results) reports.push_back(result->report);
   return reports;
 }
 

@@ -9,8 +9,9 @@
 #include "metrics/weekly.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Figure 3", "weekly offered load and actual utilization (baseline policy)",

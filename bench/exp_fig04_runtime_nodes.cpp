@@ -10,8 +10,9 @@
 #include "util/table.hpp"
 #include "workload/trace_stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Figure 4", "runtime vs nodes scatter",

@@ -8,8 +8,9 @@
 #include "util/table.hpp"
 #include "workload/trace_stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Figure 5", "WCL estimate vs actual runtime",

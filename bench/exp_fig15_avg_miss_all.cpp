@@ -6,8 +6,9 @@
 
 #include "common/experiment_env.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Figure 15", "average fair-start miss time, Eq. 5 (all policies)",

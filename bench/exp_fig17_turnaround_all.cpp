@@ -4,8 +4,9 @@
 
 #include "common/experiment_env.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
 
   bench::print_header(
       "Figure 17", "average turnaround time (all policies)",

@@ -7,8 +7,9 @@
 #include "util/table.hpp"
 #include "workload/trace_stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psched;
+  bench::init(argc, argv);
   using namespace psched::workload;
 
   bench::print_header("Table 1", "job count per width x length category",

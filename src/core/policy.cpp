@@ -1,5 +1,6 @@
 #include "core/policy.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "core/conservative_scheduler.hpp"
@@ -44,6 +45,19 @@ std::string PolicyConfig::display_name() const {
     }
   }
   throw std::logic_error("PolicyConfig::display_name: unknown kind");
+}
+
+std::string PolicyConfig::canonical_key() const {
+  std::ostringstream key;
+  // hexfloat round-trips heavy_user_factor exactly; `name` feeds the result's
+  // policy_name so it is part of the identity, and goes last because it is
+  // the only free-form field (no separator can be forged after it).
+  key << "kind=" << static_cast<int>(kind) << "|priority=" << static_cast<int>(priority)
+      << "|starvation_delay=" << starvation_delay << "|bar_heavy_users=" << bar_heavy_users
+      << "|heavy_user_factor=" << std::hexfloat << heavy_user_factor << std::defaultfloat
+      << "|reservation_depth=" << reservation_depth << "|max_runtime=" << max_runtime
+      << "|name=" << name;
+  return key.str();
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const PolicyConfig& config) {

@@ -47,6 +47,12 @@ struct PolicyConfig {
   /// The paper's naming scheme: <base><delay>.<max|nomax>.<all|fair> for the
   /// CPlant family, cons[dyn].<max|nomax> for the conservative family.
   std::string display_name() const;
+
+  /// Injective encoding of every field (unlike display_name, which omits
+  /// heavy_user_factor and can be overridden by `name`). Two configs have
+  /// equal canonical keys iff they describe the same simulation — this is
+  /// the ExperimentRunner cache key.
+  std::string canonical_key() const;
 };
 
 /// Instantiate the scheduler described by `config` (max_runtime is applied by

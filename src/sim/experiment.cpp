@@ -1,5 +1,9 @@
 #include "sim/experiment.hpp"
 
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
 namespace psched::sim {
 
 ExperimentRunner::ExperimentRunner(Workload workload, EngineConfig base)
@@ -7,25 +11,89 @@ ExperimentRunner::ExperimentRunner(Workload workload, EngineConfig base)
   workload_.validate();
 }
 
-const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy) {
-  const std::string key = policy.display_name();
-  if (const auto it = cache_.find(key); it != cache_.end()) return *it->second;
+ExperimentRunner::CacheEntry& ExperimentRunner::entry_for(const PolicyConfig& policy) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<CacheEntry>& slot = cache_[policy.canonical_key()];
+  if (!slot) slot = std::make_unique<CacheEntry>();
+  return *slot;
+}
 
-  auto result = std::make_unique<ExperimentResult>();
-  result->policy = policy;
-  EngineConfig config = base_;
-  config.policy = policy;
-  result->simulation = simulate(workload_, config);
-  result->report = metrics::evaluate(result->simulation);
-  const auto [it, inserted] = cache_.emplace(key, std::move(result));
-  return *it->second;
+const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy) {
+  CacheEntry& entry = entry_for(policy);
+  std::call_once(entry.once, [&] {
+    // Errors are cached too: every caller of a broken config sees the same
+    // exception instead of half of them retrying the simulation.
+    try {
+      auto result = std::make_unique<ExperimentResult>();
+      result->policy = policy;
+      EngineConfig config = base_;
+      config.policy = policy;
+      result->simulation = simulate(workload_, config);
+      result->report = metrics::evaluate(result->simulation);
+      entry.result = std::move(result);
+    } catch (...) {
+      entry.error = std::current_exception();
+    }
+  });
+  if (entry.error) std::rethrow_exception(entry.error);
+  return *entry.result;
 }
 
 std::vector<const ExperimentResult*> ExperimentRunner::run_all(
-    const std::vector<PolicyConfig>& policies) {
-  std::vector<const ExperimentResult*> results;
-  results.reserve(policies.size());
-  for (const PolicyConfig& policy : policies) results.push_back(&run(policy));
+    const std::vector<PolicyConfig>& policies, std::size_t jobs) {
+  const std::size_t n = policies.size();
+  std::vector<const ExperimentResult*> results(n, nullptr);
+  util::ThreadPool& pool = util::global_pool();
+  if (jobs == 0) jobs = pool.size();
+  jobs = std::min(jobs, n);
+
+  // run() can block on an in-flight cache entry, so sweep tasks are compound
+  // pool work (never help-drained). That also means a sweep started from
+  // inside a pool task could wait on workers that are all occupied by its
+  // ancestors — run serially there instead.
+  if (jobs <= 1 || util::ThreadPool::in_pool_task()) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = &run(policies[i]);
+    return results;
+  }
+
+  // `jobs` pool tasks pull policy indices from a shared counter, so a slow
+  // policy (consdyn) never serializes the rest behind a fixed partition.
+  // Each task writes only its own results[i] slots; run() deduplicates
+  // concurrent equal configs via the single-flight cache.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  const auto sweep = [&] {
+    // Stop pulling new policies once any lane failed: the sweep's error is
+    // about to be rethrown and every further simulation would be discarded.
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = &run(policies[i]);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs);
+  for (std::size_t j = 0; j + 1 < jobs; ++j) futures.push_back(pool.submit(sweep));
+  std::exception_ptr first_error;
+  try {
+    sweep();  // the calling thread is the jobs-th lane
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Always join the submitted lanes — they reference this frame's state.
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

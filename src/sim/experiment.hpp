@@ -2,6 +2,11 @@
 // Experiment runner: one workload, many policies, cached results. Every
 // figure binary in bench/ funnels through this so repeated policies within a
 // process simulate exactly once.
+//
+// The cache is keyed on PolicyConfig::canonical_key() (covers every field —
+// display_name collides for configs differing only in heavy_user_factor) and
+// is single-flight: concurrent callers asking for the same policy block until
+// the one in-flight simulation finishes, then share its result.
 
 #include <map>
 #include <memory>
@@ -23,24 +28,43 @@ struct ExperimentResult {
 class ExperimentRunner {
  public:
   /// `base` supplies everything except the policy (fairshare decay, WCL
-  /// enforcement, snapshot recording). The workload is copied once.
+  /// enforcement, snapshot recording). The workload is copied once and is
+  /// read-only afterwards, so concurrent simulations can share it.
   ExperimentRunner(Workload workload, EngineConfig base = {});
 
-  /// Simulate `policy` (or return the cached result). Thread-compatible:
-  /// guard with your own synchronization if calling concurrently.
+  /// Simulate `policy` (or return the cached result). Thread-safe and
+  /// single-flight: duplicate configs simulate exactly once regardless of how
+  /// many threads ask; a failed simulation rethrows its error to every
+  /// caller. Returned references stay valid for the runner's lifetime.
   const ExperimentResult& run(const PolicyConfig& policy);
 
-  /// Run several policies in order; FST aggregation inside each run already
-  /// uses the global thread pool.
-  std::vector<const ExperimentResult*> run_all(const std::vector<PolicyConfig>& policies);
+  /// Run several policies, up to `jobs` concurrently on util::global_pool()
+  /// (0 = pool size; 1 = serial). Results are returned in input order and are
+  /// byte-identical to a serial sweep regardless of thread count: each
+  /// simulation owns all its mutable state, and the FST aggregation inside
+  /// each run is index-deterministic.
+  std::vector<const ExperimentResult*> run_all(const std::vector<PolicyConfig>& policies,
+                                               std::size_t jobs = 0);
 
   const Workload& workload() const { return workload_; }
   const EngineConfig& base_config() const { return base_; }
 
  private:
+  /// One cache slot per canonical key; the once_flag makes computation
+  /// single-flight, and map node stability keeps entry references valid
+  /// while the mutex is released during simulation.
+  struct CacheEntry {
+    std::once_flag once;
+    std::unique_ptr<ExperimentResult> result;
+    std::exception_ptr error;
+  };
+
+  CacheEntry& entry_for(const PolicyConfig& policy);
+
   Workload workload_;
   EngineConfig base_;
-  std::map<std::string, std::unique_ptr<ExperimentResult>> cache_;
+  std::mutex mutex_;  ///< guards cache_ lookup/insert only, never held while simulating
+  std::map<std::string, std::unique_ptr<CacheEntry>> cache_;
 };
 
 }  // namespace psched::sim

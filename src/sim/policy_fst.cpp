@@ -11,7 +11,8 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
                                                const PolicyFstOptions& options) {
   if (config.policy.max_runtime != kNoTime)
     throw std::invalid_argument(
-        "policy_no_later_arrivals_fst: maximum-runtime policies are not supported");
+        "policy_no_later_arrivals_fst: requires config.policy.max_runtime == kNoTime — "
+        "segment chaining has no well-defined per-original start");
 
   const std::size_t n = workload.jobs.size();
   std::vector<Time> fair_start(n, kNoTime);

@@ -2,12 +2,58 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <thread>
+
 #include "sim/policy_fst.hpp"
 #include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace psched::sim {
 namespace {
+
+/// Exact (bitwise for doubles) equality of two reports. Parallel sweeps must
+/// be indistinguishable from serial ones at the byte level: the only
+/// thread-count-dependent code path writes integer fair-start times to
+/// per-index slots, and every floating-point reduction runs serially.
+void expect_identical_report(const metrics::PolicyReport& a, const metrics::PolicyReport& b) {
+  EXPECT_EQ(a.policy, b.policy);
+
+  EXPECT_EQ(a.standard.job_count, b.standard.job_count);
+  EXPECT_EQ(a.standard.avg_wait, b.standard.avg_wait);
+  EXPECT_EQ(a.standard.avg_turnaround, b.standard.avg_turnaround);
+  EXPECT_EQ(a.standard.avg_bounded_slowdown, b.standard.avg_bounded_slowdown);
+  EXPECT_EQ(a.standard.max_wait, b.standard.max_wait);
+  EXPECT_EQ(a.standard.makespan, b.standard.makespan);
+  EXPECT_EQ(a.standard.utilization, b.standard.utilization);
+  EXPECT_EQ(a.standard.loss_of_capacity, b.standard.loss_of_capacity);
+  EXPECT_EQ(a.standard.avg_turnaround_by_width, b.standard.avg_turnaround_by_width);
+  EXPECT_EQ(a.standard.avg_wait_by_width, b.standard.avg_wait_by_width);
+  EXPECT_EQ(a.standard.jobs_by_width, b.standard.jobs_by_width);
+
+  EXPECT_EQ(a.fairness.fair_start, b.fairness.fair_start);
+  EXPECT_EQ(a.fairness.miss, b.fairness.miss);
+  EXPECT_EQ(a.fairness.percent_unfair, b.fairness.percent_unfair);
+  EXPECT_EQ(a.fairness.percent_unfair_any, b.fairness.percent_unfair_any);
+  EXPECT_EQ(a.fairness.percent_unfair_load, b.fairness.percent_unfair_load);
+  EXPECT_EQ(a.fairness.avg_miss_all, b.fairness.avg_miss_all);
+  EXPECT_EQ(a.fairness.avg_miss_unfair, b.fairness.avg_miss_unfair);
+  EXPECT_EQ(a.fairness.max_miss, b.fairness.max_miss);
+  EXPECT_EQ(a.fairness.avg_miss_by_width, b.fairness.avg_miss_by_width);
+  EXPECT_EQ(a.fairness.jobs_by_width, b.fairness.jobs_by_width);
+  EXPECT_EQ(a.fairness.unfair_by_width, b.fairness.unfair_by_width);
+}
+
+void expect_identical_records(const SimulationResult& a, const SimulationResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].start, b.records[i].start) << "record " << i;
+    EXPECT_EQ(a.records[i].finish, b.records[i].finish) << "record " << i;
+    EXPECT_EQ(a.records[i].killed_at_wcl, b.records[i].killed_at_wcl) << "record " << i;
+  }
+}
 
 TEST(ExperimentRunner, CachesByPolicyName) {
   const Workload w = psched::workload::generate_small_workload(3, 100, 32, days(2));
@@ -40,6 +86,103 @@ TEST(ExperimentRunner, ReportsAreInternallyConsistent) {
   EXPECT_EQ(r.report.standard.job_count, r.simulation.records.size());
 }
 
+// Regression: display_name omits heavy_user_factor, so these two configs
+// used to alias one cache slot and silently share a result.
+TEST(ExperimentRunner, CacheDistinguishesConfigsWithEqualDisplayNames) {
+  PolicyConfig strict = paper_policy(PaperPolicy::Cplant24NomaxFair);
+  PolicyConfig lax = strict;
+  lax.heavy_user_factor = 1.0;  // bars far more users, same display name
+  ASSERT_EQ(strict.display_name(), lax.display_name());
+  ASSERT_NE(strict.canonical_key(), lax.canonical_key());
+
+  const Workload w = psched::workload::generate_small_workload(17, 120, 32, days(2));
+  ExperimentRunner runner(w);
+  const ExperimentResult& strict_result = runner.run(strict);
+  const ExperimentResult& lax_result = runner.run(lax);
+  EXPECT_NE(&strict_result, &lax_result);
+  EXPECT_EQ(strict_result.policy.heavy_user_factor, 4.0);
+  EXPECT_EQ(lax_result.policy.heavy_user_factor, 1.0);
+}
+
+// An explicit `name` also participates in identity: same fields + different
+// name means a different report (policy_name differs), and a name that
+// mimics another config's derived display name must not steal its slot.
+TEST(ExperimentRunner, CacheDistinguishesExplicitNames) {
+  PolicyConfig derived;  // cplant24.nomax.all
+  PolicyConfig disguised;
+  disguised.starvation_delay = hours(72);
+  disguised.name = derived.display_name();
+  ASSERT_EQ(derived.display_name(), disguised.display_name());
+
+  const Workload w = psched::workload::generate_small_workload(19, 100, 32, days(2));
+  ExperimentRunner runner(w);
+  EXPECT_NE(&runner.run(derived), &runner.run(disguised));
+}
+
+TEST(ExperimentRunner, RunAllIsDeterministicAcrossJobCounts) {
+  const Workload w = psched::workload::generate_small_workload(23, 150, 64, days(3));
+  const std::vector<PolicyConfig> policies = all_paper_policies();
+
+  ExperimentRunner serial(w);
+  const auto base = serial.run_all(policies, /*jobs=*/1);
+
+  for (const std::size_t jobs : {std::size_t{2}, util::global_pool().size() + 2}) {
+    ExperimentRunner parallel_runner(w);
+    const auto parallel = parallel_runner.run_all(policies, jobs);
+    ASSERT_EQ(parallel.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      expect_identical_report(base[i]->report, parallel[i]->report);
+      expect_identical_records(base[i]->simulation, parallel[i]->simulation);
+    }
+  }
+}
+
+// Hammer one runner with duplicate policies from many threads: every
+// duplicate must resolve to the same cached object (single-flight), and the
+// cache must hold exactly one entry per distinct config.
+TEST(ExperimentRunner, ConcurrentDuplicateStress) {
+  const Workload w = psched::workload::generate_small_workload(29, 60, 32, days(1));
+  ExperimentRunner runner(w);
+
+  std::vector<PolicyConfig> policies;
+  for (int repeat = 0; repeat < 12; ++repeat)
+    for (const PaperPolicy p : {PaperPolicy::Cplant24NomaxAll, PaperPolicy::ConsNomax,
+                                PaperPolicy::Cplant24NomaxFair})
+      policies.push_back(paper_policy(p));
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<const ExperimentResult*>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { per_thread[t] = runner.run_all(policies, 4); });
+  for (auto& thread : threads) thread.join();
+
+  std::set<const ExperimentResult*> distinct;
+  for (const auto& results : per_thread) {
+    ASSERT_EQ(results.size(), policies.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_NE(results[i], nullptr);
+      EXPECT_EQ(results[i], per_thread[0][i]) << "duplicate simulated twice at " << i;
+      distinct.insert(results[i]);
+    }
+  }
+  EXPECT_EQ(distinct.size(), 3u);  // one result per distinct config
+}
+
+// A config whose scheduler construction throws must report the same error to
+// every caller (cached single-flight error), not retry per caller.
+TEST(ExperimentRunner, BrokenConfigErrorIsCachedAndRethrown) {
+  const Workload w = psched::workload::generate_small_workload(31, 20, 16, days(1));
+  ExperimentRunner runner(w);
+  PolicyConfig broken;
+  broken.kind = PolicyKind::Depth;
+  broken.reservation_depth = 0;  // DepthScheduler rejects < 1
+  EXPECT_THROW(runner.run(broken), std::invalid_argument);
+  EXPECT_THROW(runner.run(broken), std::invalid_argument);
+  EXPECT_THROW(runner.run_all({broken}, 2), std::invalid_argument);
+}
+
 TEST(PolicyFst, MatchesDirectSimulationForLastJob) {
   const Workload w = psched::workload::generate_small_workload(9, 60, 16, days(1));
   EngineConfig config;
@@ -54,11 +197,24 @@ TEST(PolicyFst, MatchesDirectSimulationForLastJob) {
   for (std::size_t i = 0; i < fst.size(); ++i) EXPECT_GE(fst[i], w.jobs[i].submit);
 }
 
+// The documented precondition (header: max_runtime == kNoTime) must be
+// enforced on every path — segment chaining has no well-defined per-original
+// start, so silently proceeding would return garbage fair-start times.
 TEST(PolicyFst, RejectsMaxRuntimePolicies) {
   const Workload w = psched::workload::generate_small_workload(11, 20, 16, days(1));
   EngineConfig config;
   config.policy.max_runtime = hours(72);
   EXPECT_THROW(policy_no_later_arrivals_fst(w, config), std::invalid_argument);
+  PolicyFstOptions serial{.parallel = false};
+  EXPECT_THROW(policy_no_later_arrivals_fst(w, config, serial), std::invalid_argument);
+  config.segment_arrival = SegmentArrival::Chained;
+  EXPECT_THROW(policy_no_later_arrivals_fst(w, config), std::invalid_argument);
+  try {
+    policy_no_later_arrivals_fst(w, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("max_runtime"), std::string::npos);
+  }
 }
 
 TEST(PolicyFst, SerialAndParallelAgree) {

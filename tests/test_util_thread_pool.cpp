@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace psched::util {
@@ -71,6 +73,70 @@ TEST(ThreadPool, MinChunkReducesSplit) {
   std::atomic<int> counter{0};
   pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); }, /*min_chunk=*/100);
   EXPECT_EQ(counter.load(), 10);  // single chunk executed inline
+}
+
+TEST(ThreadPool, SubmitAfterShutdownReportsViaFuture) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  // submit itself must not throw; the rejection arrives through the future.
+  std::future<void> future = pool.submit([] {});
+  ASSERT_TRUE(future.valid());
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    }));
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  for (auto& f : futures) f.get();  // queued tasks ran to completion
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// The drain guarantee extends to queued tasks that fan out with parallel_for
+// during shutdown: their leaf chunks are exempt from the rejection.
+TEST(ThreadPool, QueuedTaskUsingParallelForSurvivesShutdownDrain) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 4; ++t)
+    futures.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      pool.parallel_for(32, [&](std::size_t) { counter.fetch_add(1); });
+    }));
+  pool.shutdown();
+  for (auto& f : futures) f.get();  // no "submit after shutdown" error
+  EXPECT_EQ(counter.load(), 4 * 32);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownRunsOnCallingThread) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> counter{0};
+  pool.parallel_for(16, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// The waiter must block (not spin) when the queue is empty and still wake
+// promptly when the straggler finishes; deeply nested parallel_for from pool
+// threads keeps draining through the same wait path.
+TEST(ThreadPool, WaiterWakesOnSlowStragglerAndNestedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&](std::size_t outer) {
+    if (outer == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pool.parallel_for(4, [&](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(GlobalPool, IsUsable) {

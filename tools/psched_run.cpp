@@ -11,6 +11,8 @@
 //                         cons.fcfs. Default: the paper's nine policies.
 //     --decay F           fairshare decay factor per day (default 0.9)
 //     --tolerance SECS    unfairness tolerance (default 86400)
+//     --jobs N            concurrent policy simulations (default: thread-pool
+//                         size; 1 = serial; results identical either way)
 //     --csv               emit CSV instead of aligned tables
 //     --by-width          also print the per-width breakdown tables
 //     --by-user N         also print the N heaviest users' treatment
@@ -88,6 +90,9 @@ void print_usage() {
       "  --system-size N                   machine size override\n"
       "  --policy NAME                     repeatable; default: all nine paper policies\n"
       "  --decay F --tolerance SECS        fairness knobs\n"
+      "  --jobs N                          concurrent policy simulations (default: pool\n"
+      "                                    size, env PSCHED_THREADS; 1 = serial; the\n"
+      "                                    report is byte-identical for every N)\n"
       "  --csv --by-width --by-user N      output options\n"
       "  --write-swf FILE                  dump trace and exit\n";
 }
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool by_width = false;
   int by_user = 0;
+  std::size_t jobs = 0;  // 0 = global pool size
   std::vector<PolicyConfig> policies;
 
   for (int i = 1; i < argc; ++i) {
@@ -135,6 +141,10 @@ int main(int argc, char** argv) {
       decay = std::strtod(next(), nullptr);
     } else if (arg == "--tolerance") {
       tolerance = std::atoll(next());
+    } else if (arg == "--jobs") {
+      const int parsed = std::atoi(next());
+      if (parsed < 1) fail("--jobs must be >= 1");
+      jobs = static_cast<std::size_t>(parsed);
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--by-width") {
@@ -179,15 +189,18 @@ int main(int argc, char** argv) {
   base.fairshare_decay = decay;
   sim::ExperimentRunner runner(trace, base);
 
+  std::cout << "# simulating " << policies.size() << " policies";
+  for (const PolicyConfig& policy : policies) std::cout << ' ' << policy.display_name();
+  std::cout << "...\n" << std::flush;
+  const std::vector<const sim::ExperimentResult*> results = runner.run_all(policies, jobs);
+
   std::vector<metrics::PolicyReport> reports;
-  for (const PolicyConfig& policy : policies) {
-    std::cout << "# simulating " << policy.display_name() << "...\n" << std::flush;
-    const sim::ExperimentResult& run = runner.run(policy);
+  for (const sim::ExperimentResult* run : results) {
     metrics::FstOptions options;
     options.tolerance = tolerance;
-    metrics::PolicyReport report = run.report;
+    metrics::PolicyReport report = run->report;
     if (tolerance != hours(24))
-      report.fairness = metrics::hybrid_fairshare_fst(run.simulation, options);
+      report.fairness = metrics::hybrid_fairshare_fst(run->simulation, options);
     reports.push_back(std::move(report));
   }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the concurrency-sensitive tests: the thread pool,
+# the parallel ExperimentRunner sweep (single-flight cache), and the parallel
+# FST metric loops. Sibling of tools/run_benches.sh — run it whenever the
+# threading layers change; any data race fails the suite loudly.
+#
+# Env knobs:
+#   PSCHED_TSAN_BUILD_DIR  build directory (default build-tsan)
+#   PSCHED_THREADS         pool size under test (default 4, so races surface
+#                          even on small machines)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${PSCHED_TSAN_BUILD_DIR:-build-tsan}"
+FILTER='ThreadPool.*:GlobalPool.*:ExperimentRunner.*:PolicyFst.*:HybridFst.*'
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DPSCHED_SANITIZE=thread \
+  -DPSCHED_BUILD_BENCH=OFF >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target psched_tests
+
+PSCHED_THREADS="${PSCHED_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  "$BUILD/psched_tests" --gtest_filter="$FILTER"
+echo "tsan: clean ($FILTER)"

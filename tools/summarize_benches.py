@@ -23,6 +23,11 @@ def load_cases(path):
         entry = {"ns_per_op": round(b["real_time"] * scale, 2)}
         if "items_per_second" in b:
             entry["items_per_second"] = round(b["items_per_second"], 1)
+        # Context counters (e.g. perf_experiment records the pool size the
+        # parallel sweep actually ran with).
+        for counter in ("jobs", "pool_threads"):
+            if counter in b:
+                entry[counter] = round(b[counter], 1)
         cases[b["name"]] = entry
     return cases
 
