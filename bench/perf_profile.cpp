@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <map>
+#include <vector>
+
 #include "core/profile.hpp"
 #include "core/reference_profile.hpp"
 #include "util/rng.hpp"
@@ -114,6 +118,111 @@ void BM_RefProfileEarliestFitContended(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileEarliestFitContended)->Arg(256)->Arg(1024);
 BENCHMARK(BM_RefProfileEarliestFitContended)->Arg(256)->Arg(1024);
+
+constexpr std::size_t kIndexAlways = 0;
+constexpr std::size_t kIndexNever = static_cast<std::size_t>(-1);
+
+// --- deep-queue cases (the ROADMAP's 10k+ reservation scenario) --------------
+//
+// BM_ProfileEarliestFitDeep queries a prebuilt deep profile (the gap index
+// pays per query); BM_ProfilePack* replays the conservative replan inner loop
+// — alternate earliest_fit and add_usage until `n` reservations are seated —
+// which is where deep queues spend their time. The Indexed/Linear pair is the
+// crossover measurement behind Profile::gap_index_threshold(); the Ref pair
+// records the speedup over the seed implementation.
+
+template <typename ProfileT>
+void run_earliest_fit_deep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // The seed implementation takes a while to build a deep profile; cache the
+  // built timeline across google-benchmark's calibration re-invocations.
+  static std::map<std::size_t, ProfileT> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    util::Rng rng(11);
+    ProfileT profile(1524, 0);
+    // Dense long-horizon packing so the timeline carries ~2n live breakpoints.
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time from = rng.uniform_int(0, static_cast<Time>(n) * 600);
+      const Time duration = rng.uniform_int(600, 86'400);
+      const auto nodes = static_cast<NodeCount>(rng.uniform_int(1, 96));
+      if (profile.fits_at(from, duration, nodes)) profile.add_usage(from, from + duration, nodes);
+    }
+    it = cache.emplace(n, std::move(profile)).first;
+  }
+  const ProfileT& profile = it->second;
+  Time query = 0;
+  const Time horizon = static_cast<Time>(n) * 600;
+  for (auto _ : state) {
+    query = (query + 7919) % horizon;
+    benchmark::DoNotOptimize(profile.earliest_fit(query, 43'200, 1400));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ProfileEarliestFitDeep(benchmark::State& state) {
+  run_earliest_fit_deep<Profile>(state);
+}
+void BM_RefProfileEarliestFitDeep(benchmark::State& state) {
+  run_earliest_fit_deep<reference::ReferenceProfile>(state);
+}
+BENCHMARK(BM_ProfileEarliestFitDeep)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RefProfileEarliestFitDeep)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+template <typename ProfileT>
+void run_pack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng shapes_rng(9001);
+  std::vector<NodeCount> widths;
+  std::vector<Time> lengths;
+  widths.reserve(n);
+  lengths.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    widths.push_back(static_cast<NodeCount>(shapes_rng.uniform_int(1, 96)));
+    lengths.push_back(shapes_rng.uniform_int(300, 36'000));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    ProfileT profile(512, 0);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time at = profile.earliest_fit(0, lengths[i], widths[i]);
+      profile.add_usage(at, at + lengths[i], widths[i]);
+    }
+    benchmark::DoNotOptimize(profile.breakpoints());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_ProfilePack(benchmark::State& state) { run_pack<Profile>(state); }
+void BM_RefProfilePack(benchmark::State& state) {
+  run_pack<reference::ReferenceProfile>(state);
+}
+void BM_ProfilePackIndexed(benchmark::State& state) {
+  Profile::ThresholdGuard force(kIndexAlways);
+  run_pack<Profile>(state);
+}
+void BM_ProfilePackLinear(benchmark::State& state) {
+  Profile::ThresholdGuard force(kIndexNever);
+  run_pack<Profile>(state);
+}
+// BM_ProfilePack uses the production threshold; the Indexed/Linear variants
+// bracket it to expose the crossover. The seed pair stops at 4096 (its
+// quadratic restart scan already needs seconds per pass there).
+BENCHMARK(BM_ProfilePack)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RefProfilePack)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfilePackIndexed)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfilePackLinear)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
 
 template <typename ProfileT>
 void run_fits_at(benchmark::State& state, std::uint64_t seed) {

@@ -1,9 +1,16 @@
 // End-to-end scheduler throughput: simulated jobs per second for each policy
-// kind on a common random workload.
+// kind on a common random workload, plus the deep-queue scenario family —
+// burst arrivals that hold thousands of simultaneous reservations, the
+// workload the gap-indexed Profile exists for.
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <map>
+
+#include "core/profile.hpp"
 #include "sim/engine.hpp"
+#include "util/rng.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -46,5 +53,98 @@ BENCHMARK(BM_SimEasy)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimCplant)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimConservative)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimConservativeDynamic)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+// --- deep-queue scenario family ----------------------------------------------
+//
+// Burst arrivals on a small machine: every job lands within the first hour,
+// so a conservative plan holds (jobs) simultaneous reservations and every
+// completion triggers a heavy compression/replan pass over the whole queue.
+// The BM_Ref* twins here run the SAME optimized scheduler but with the
+// Profile gap index disabled (Profile::set_gap_index_threshold(SIZE_MAX)),
+// i.e. the linear-scan profile — so speedup_vs_reference records exactly
+// what the index buys on deep replans, end to end.
+
+const Workload& deep_burst_trace(std::size_t jobs) {
+  static std::map<std::size_t, Workload> cache;
+  auto it = cache.find(jobs);
+  if (it == cache.end()) {
+    util::Rng rng(7777);
+    Workload w;
+    w.system_size = 128;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      Job job;
+      job.id = static_cast<JobId>(i);
+      job.user = static_cast<UserId>(rng.uniform_int(0, 15));
+      job.submit = rng.uniform_int(0, 3600);
+      // Realistic width mix (the paper's CPlant jobs span the full machine):
+      // mostly narrow, with a heavy wide tail.
+      job.nodes = static_cast<NodeCount>(rng.uniform_int(1, 96));
+      job.runtime = rng.uniform_int(120, 4000);
+      job.wcl = job.runtime + rng.uniform_int(0, 2000);
+      w.jobs.push_back(job);
+    }
+    w.normalize();
+    w.validate();
+    it = cache.emplace(jobs, std::move(w)).first;
+  }
+  return it->second;
+}
+
+void run_deep_queue_bench(benchmark::State& state, PolicyKind kind, std::size_t threshold) {
+  Profile::ThresholdGuard guard(threshold);
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const Workload& trace = deep_burst_trace(jobs);
+  for (auto _ : state) {
+    sim::EngineConfig config;
+    config.policy.kind = kind;
+    config.policy.priority = PriorityKind::Fairshare;
+    config.record_snapshots = false;
+    benchmark::DoNotOptimize(sim::simulate(trace, config).records.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs));
+}
+
+constexpr std::size_t kLinearScan = static_cast<std::size_t>(-1);
+
+void BM_SimConservativeDeepQueue(benchmark::State& state) {
+  run_deep_queue_bench(state, PolicyKind::Conservative, Profile::gap_index_threshold());
+}
+void BM_RefSimConservativeDeepQueue(benchmark::State& state) {
+  run_deep_queue_bench(state, PolicyKind::Conservative, kLinearScan);
+}
+void BM_SimConservativeDynamicDeepQueue(benchmark::State& state) {
+  run_deep_queue_bench(state, PolicyKind::ConservativeDynamic, Profile::gap_index_threshold());
+}
+void BM_RefSimConservativeDynamicDeepQueue(benchmark::State& state) {
+  run_deep_queue_bench(state, PolicyKind::ConservativeDynamic, kLinearScan);
+}
+void BM_SimCplantDeepQueue(benchmark::State& state) {
+  run_deep_queue_bench(state, PolicyKind::Cplant, Profile::gap_index_threshold());
+}
+void BM_RefSimCplantDeepQueue(benchmark::State& state) {
+  run_deep_queue_bench(state, PolicyKind::Cplant, kLinearScan);
+}
+
+// Depths bracket the measured crossover (the default
+// Profile::gap_index_threshold() of 2048 breakpoints ≈ a ~1000-job plan):
+// at 2000 the index engages part-time (the pairs document ~parity), at
+// 4000+ it pays increasingly. Static conservative at 10000 is omitted — a
+// single linear-scan iteration runs for many minutes; the dynamic pair
+// carries the 10k+ acceptance point end to end, and perf_profile's
+// BM_ProfilePack*/16384 pair carries it at the profile level.
+BENCHMARK(BM_SimConservativeDeepQueue)->Arg(2000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RefSimConservativeDeepQueue)->Arg(2000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimConservativeDynamicDeepQueue)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RefSimConservativeDynamicDeepQueue)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimCplantDeepQueue)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RefSimCplantDeepQueue)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -17,7 +17,7 @@ double stddev(std::span<const double> values) {
   const double m = mean(values);
   double acc = 0.0;
   for (const double v : values) acc += (v - m) * (v - m);
-  return std::sqrt(acc / static_cast<double>(values.size()));
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
 }
 
 double percentile(std::span<const double> values, double q) {

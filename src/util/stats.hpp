@@ -13,7 +13,7 @@ namespace psched::util {
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
-  double stddev = 0.0;  // population standard deviation
+  double stddev = 0.0;  // sample standard deviation (see stddev() below)
   double min = 0.0;
   double p25 = 0.0;
   double median = 0.0;
@@ -28,6 +28,12 @@ struct Summary {
 Summary summarize(std::span<const double> values);
 
 double mean(std::span<const double> values);
+
+/// Sample standard deviation (Bessel-corrected, divides by N-1): everything
+/// we summarize — waits, slowdowns, trace columns — is a sample of the
+/// workload process, not a full population, and the N-1 estimator matches the
+/// size() < 2 guard (one observation carries no spread information).
+/// Fewer than two values yield 0.
 double stddev(std::span<const double> values);
 
 /// Linear-interpolated percentile, q in [0, 1]. Empty input returns 0.

@@ -1,5 +1,6 @@
 #include "workload/swf.hpp"
 
+#include <algorithm>
 #include <array>
 #include <fstream>
 #include <sstream>
@@ -47,14 +48,20 @@ bool parse_header_int(const std::string& line, const std::string& key, long long
 
 SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOptions& options) {
   SwfReadResult result;
+  // MaxNodes and MaxProcs are tracked separately: on SMP machines MaxProcs
+  // counts cores (>> nodes), so it only sizes the machine when MaxNodes is
+  // absent from the header.
   NodeCount header_nodes = 0;
+  NodeCount header_procs = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line[0] == ';') {
       long long value = 0;
-      if (parse_header_int(line, "MaxNodes", value) || parse_header_int(line, "MaxProcs", value))
+      if (parse_header_int(line, "MaxNodes", value))
         header_nodes = std::max(header_nodes, static_cast<NodeCount>(value));
+      else if (parse_header_int(line, "MaxProcs", value))
+        header_procs = std::max(header_procs, static_cast<NodeCount>(value));
       continue;
     }
     std::istringstream fields(line);
@@ -69,6 +76,16 @@ SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOpt
       continue;
     }
     ++result.total_records;
+
+    // Status filter first: a cancelled/failed record is not malformed, it
+    // describes work that never (fully) ran, so it must not fall through to
+    // the invalid-record accounting below.
+    if (!options.accepted_statuses.empty() &&
+        std::find(options.accepted_statuses.begin(), options.accepted_statuses.end(),
+                  f[kStatus]) == options.accepted_statuses.end()) {
+      ++result.filtered_records;
+      continue;
+    }
 
     Job job;
     job.submit = static_cast<Time>(std::max<long long>(0, f[kSubmit]));
@@ -93,8 +110,9 @@ SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOpt
 
   NodeCount widest = 0;
   for (const Job& job : result.workload.jobs) widest = std::max(widest, job.nodes);
+  const NodeCount header_size = header_nodes > 0 ? header_nodes : header_procs;
   result.workload.system_size =
-      system_size > 0 ? system_size : (header_nodes > 0 ? header_nodes : widest);
+      system_size > 0 ? system_size : (header_size > 0 ? header_size : widest);
   if (result.workload.system_size <= 0) result.workload.system_size = 1;
   result.workload.normalize();
   result.workload.validate();

@@ -3,9 +3,18 @@
 // of the Feitelson workload archive and the input format of the paper's
 // simulator (section 3.1). Fields we do not model (memory, CPU time, queue,
 // partition, dependencies) are written as -1 and ignored on read.
+//
+// Status semantics (SWF field 11): 1 = completed, 0 = failed, 5 = cancelled
+// before start, 2/3/4 = partial executions of a checkpointed job, -1 =
+// unknown/missing. Real archive traces mix all of these; only completed (and
+// status-less) records describe work the machine actually did, so the reader
+// filters on status by default — see SwfReadOptions::accepted_statuses.
+// Cancelled/failed records often still carry plausible runtimes, which is why
+// ingesting them silently corrupts utilization and fairness numbers.
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/job.hpp"
 
@@ -19,16 +28,27 @@ struct SwfReadOptions {
   bool fallback_to_requested = true;
   /// When the requested-time (WCL) field is missing, substitute the runtime.
   bool fallback_wcl_to_runtime = true;
+  /// Status codes (SWF field 11) to ingest. Default: completed jobs plus the
+  /// -1 "unknown" sentinel (traces without status information). Records with
+  /// any other status are dropped and counted in
+  /// SwfReadResult::filtered_records. An empty list disables status
+  /// filtering entirely (every status is accepted).
+  std::vector<long long> accepted_statuses = {1, -1};
 };
 
 struct SwfReadResult {
   Workload workload;
   std::size_t total_records = 0;
+  /// Records dropped as malformed/invalid (see SwfReadOptions::skip_invalid).
   std::size_t skipped_records = 0;
+  /// Records dropped by the status filter (accepted_statuses).
+  std::size_t filtered_records = 0;
 };
 
-/// Parse an SWF stream. `system_size` <= 0 takes MaxProcs/MaxNodes from the
-/// header comments, or the widest job if absent.
+/// Parse an SWF stream. `system_size` <= 0 takes the machine size from the
+/// header comments — MaxNodes when present, falling back to MaxProcs only
+/// when MaxNodes is absent (SMP traces have MaxProcs >> MaxNodes and would
+/// inflate the machine) — or the widest job if neither is given.
 SwfReadResult read_swf(std::istream& in, NodeCount system_size = 0,
                        const SwfReadOptions& options = {});
 SwfReadResult read_swf_file(const std::string& path, NodeCount system_size = 0,

@@ -1,0 +1,198 @@
+// Deep-queue coverage for the gap-indexed Profile: the time-bucketed
+// min/feasible-run index must be invisible in results (only in cost) at
+// every depth. These tests force the index on/off around the crossover
+// threshold and diff against both the preserved seed implementation and the
+// linear-scan path, profile-level and end-to-end through the
+// conservative/CPlant schedulers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/reference_profile.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace psched {
+namespace {
+
+constexpr std::size_t kIndexAlways = 0;
+constexpr std::size_t kIndexNever = static_cast<std::size_t>(-1);
+
+TEST(ProfileDeep, ForcedIndexMatchesReferenceOnRandomOps) {
+  // The randomized diff of test_core_profile_diff.cpp, but with the index
+  // forced on from the first breakpoint, so shallow profiles exercise the
+  // tree descents and the lazy suffix rebuilds too.
+  Profile::ThresholdGuard guard(kIndexAlways);
+  util::Rng rng(20260729);
+  for (int round = 0; round < 10; ++round) {
+    const NodeCount capacity = static_cast<NodeCount>(rng.uniform_int(4, 1024));
+    Profile opt(capacity, 0);
+    reference::ReferenceProfile ref(capacity, 0);
+    struct Interval {
+      Time from, to;
+      NodeCount nodes;
+    };
+    std::vector<Interval> live;
+    for (int op = 0; op < 300; ++op) {
+      if (rng.uniform01() < 0.6 || live.empty()) {
+        Interval iv;
+        iv.from = rng.uniform_int(0, 300'000);
+        iv.to = iv.from + rng.uniform_int(1, 80'000);
+        iv.nodes = static_cast<NodeCount>(rng.uniform_int(1, capacity));
+        bool ok_opt = true, ok_ref = true;
+        try {
+          opt.add_usage(iv.from, iv.to, iv.nodes);
+        } catch (const std::logic_error&) {
+          ok_opt = false;
+        }
+        try {
+          ref.add_usage(iv.from, iv.to, iv.nodes);
+        } catch (const std::logic_error&) {
+          ok_ref = false;
+        }
+        ASSERT_EQ(ok_opt, ok_ref) << "acceptance diverged at op " << op;
+        if (ok_opt) live.push_back(iv);
+      } else {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        const Interval iv = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        opt.remove_usage(iv.from, iv.to, iv.nodes);
+        ref.remove_usage(iv.from, iv.to, iv.nodes);
+      }
+      ASSERT_NO_THROW(opt.check_invariants());
+      for (int q = 0; q < 4; ++q) {
+        const Time t = rng.uniform_int(0, 400'000);
+        const Time dur = rng.uniform_int(1, 120'000);
+        const NodeCount w = static_cast<NodeCount>(rng.uniform_int(1, capacity));
+        ASSERT_EQ(opt.free_at(t), ref.free_at(t));
+        ASSERT_EQ(opt.fits_at(t, dur, w), ref.fits_at(t, dur, w));
+        ASSERT_EQ(opt.earliest_fit(t, dur, w), ref.earliest_fit(t, dur, w))
+            << "op " << op << " t=" << t << " dur=" << dur << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(ProfileDeep, ForcedIndexSurvivesBatchesAndAdvanceOrigin) {
+  Profile::ThresholdGuard guard(kIndexAlways);
+  util::Rng rng(55);
+  Profile opt(256, 0);
+  reference::ReferenceProfile ref(256, 0);
+  opt.begin_batch();
+  for (int i = 0; i < 400; ++i) {
+    const Time from = rng.uniform_int(0, 250'000);
+    const Time to = from + rng.uniform_int(60, 40'000);
+    const NodeCount nodes = static_cast<NodeCount>(rng.uniform_int(1, 24));
+    if (ref.fits_at(from, to - from, nodes)) {
+      opt.add_usage(from, to, nodes);
+      ref.add_usage(from, to, nodes);
+    }
+    // Queries stay exact (and indexed) inside the batch.
+    const Time t = rng.uniform_int(0, 300'000);
+    ASSERT_EQ(opt.earliest_fit(t, 3600, 64), ref.earliest_fit(t, 3600, 64));
+  }
+  opt.end_batch();
+  ASSERT_EQ(opt.debug_string(), ref.debug_string());
+
+  // advance_origin drops a prefix: the index must resync from scratch.
+  const Time cut = 120'000;
+  opt.advance_origin(cut);
+  ASSERT_NO_THROW(opt.check_invariants());
+  for (Time t = cut; t < 320'000; t += 503) {
+    ASSERT_EQ(opt.free_at(t), ref.free_at(t)) << t;
+    ASSERT_EQ(opt.earliest_fit(t, 7200, 128), ref.earliest_fit(t, 7200, 128)) << t;
+  }
+}
+
+TEST(ProfileDeep, DeepPackIndexedMatchesLinearScan) {
+  // The replan inner loop at 5k+ reservations: alternate earliest_fit and
+  // add_usage until the plan holds thousands of seated jobs. The indexed
+  // profile must pick byte-identical slots to the linear-scan path and end
+  // with an identical breakpoint array.
+  util::Rng widths_rng(9001);
+  std::vector<NodeCount> widths;
+  std::vector<Time> lengths;
+  for (int i = 0; i < 5000; ++i) {
+    widths.push_back(static_cast<NodeCount>(widths_rng.uniform_int(1, 96)));
+    lengths.push_back(widths_rng.uniform_int(300, 36'000));
+  }
+
+  auto pack = [&](std::size_t threshold) {
+    Profile::ThresholdGuard guard(threshold);
+    Profile profile(512, 0);
+    std::vector<Time> starts;
+    starts.reserve(widths.size());
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const Time at = profile.earliest_fit(0, lengths[i], widths[i]);
+      profile.add_usage(at, at + lengths[i], widths[i]);
+      starts.push_back(at);
+    }
+    profile.check_invariants();
+    return std::make_pair(std::move(starts), profile.debug_string());
+  };
+
+  const auto [starts_indexed, shape_indexed] = pack(kIndexAlways);
+  const auto [starts_linear, shape_linear] = pack(kIndexNever);
+  ASSERT_EQ(starts_indexed.size(), starts_linear.size());
+  for (std::size_t i = 0; i < starts_indexed.size(); ++i)
+    ASSERT_EQ(starts_indexed[i], starts_linear[i]) << "slot diverged for job " << i;
+  EXPECT_EQ(shape_indexed, shape_linear);
+}
+
+/// A burst workload that drives the waiting queue deep: everyone arrives
+/// within the first hour on a small machine, so the conservative plan holds
+/// hundreds of simultaneous reservations and every completion triggers a
+/// heavy compression pass.
+Workload burst_workload(std::size_t jobs) {
+  util::Rng rng(7777);
+  Workload w;
+  w.system_size = 64;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i);
+    job.user = static_cast<UserId>(rng.uniform_int(0, 7));
+    job.submit = rng.uniform_int(0, 3600);
+    job.nodes = static_cast<NodeCount>(rng.uniform_int(1, 16));
+    job.runtime = rng.uniform_int(120, 4000);
+    job.wcl = job.runtime + rng.uniform_int(0, 2000);
+    w.jobs.push_back(job);
+  }
+  w.normalize();
+  w.validate();
+  return w;
+}
+
+TEST(ProfileDeep, HeavyReplanSimulationIsIndexInvariant) {
+  // End-to-end: conservative (static + dynamic) and CPlant runs over a deep
+  // burst queue must produce identical schedules with the index forced on
+  // and forced off — the index wires into the persistent replan profile and
+  // the starvation head reservation without changing one decision.
+  const Workload trace = burst_workload(500);
+  for (const PolicyKind kind :
+       {PolicyKind::Conservative, PolicyKind::ConservativeDynamic, PolicyKind::Cplant}) {
+    auto run = [&](std::size_t threshold) {
+      Profile::ThresholdGuard guard(threshold);
+      sim::EngineConfig config;
+      config.policy.kind = kind;
+      config.record_snapshots = false;
+      return sim::simulate(trace, config);
+    };
+    const SimulationResult indexed = run(kIndexAlways);
+    const SimulationResult linear = run(kIndexNever);
+    ASSERT_EQ(indexed.records.size(), linear.records.size());
+    for (std::size_t i = 0; i < indexed.records.size(); ++i) {
+      ASSERT_EQ(indexed.records[i].start, linear.records[i].start)
+          << "policy " << static_cast<int>(kind) << " record " << i;
+      ASSERT_EQ(indexed.records[i].finish, linear.records[i].finish)
+          << "policy " << static_cast<int>(kind) << " record " << i;
+    }
+    EXPECT_EQ(indexed.busy_proc_seconds, linear.busy_proc_seconds);
+    EXPECT_EQ(indexed.loc_proc_seconds, linear.loc_proc_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace psched

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace psched::util {
@@ -10,7 +11,20 @@ namespace {
 TEST(Stats, MeanAndStddev) {
   const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
   EXPECT_DOUBLE_EQ(mean(v), 5.0);
-  EXPECT_DOUBLE_EQ(stddev(v), 2.0);  // classic population-stddev example
+  // Sample (N-1) estimator: sum of squared deviations is 32 over 8 values,
+  // so s = sqrt(32/7). (The population variant of this classic example
+  // would give exactly 2.0 — pinning the ratio pins the estimator choice.)
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(32.0 / 7.0));
+}
+
+TEST(Stats, StddevDegenerateSamples) {
+  // Fewer than two observations carry no spread information: the N-1
+  // estimator is undefined there, and stddev() returns 0 by contract.
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{42.0}), 0.0);
+  // Two equal values: well-defined, zero spread.
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0, 3.0}), 0.0);
+  // Two values: s = |a - b| / sqrt(2).
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0, 3.0}), std::sqrt(2.0));
 }
 
 TEST(Stats, EmptyInputsAreZero) {

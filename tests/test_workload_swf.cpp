@@ -41,8 +41,11 @@ TEST(Swf, FallsBackWclToRuntime) {
 }
 
 TEST(Swf, SkipsInvalidRecordsByDefault) {
+  // Status says completed, but the runtime is missing: malformed, so it hits
+  // the skip_invalid path (status-0 records are filtered before this check —
+  // see FilteredRecordsAreNotCountedAsInvalid).
   std::istringstream in(
-      "1 0 -1 -1 4 -1 -1 4 100 -1 0 0 0 -1 -1 -1 -1 -1\n"   // failed job (runtime -1)
+      "1 0 -1 -1 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"   // completed but runtime -1
       "2 5 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
   const SwfReadResult result = read_swf(in);
   EXPECT_EQ(result.total_records, 2u);
@@ -51,10 +54,80 @@ TEST(Swf, SkipsInvalidRecordsByDefault) {
 }
 
 TEST(Swf, StrictModeThrowsOnInvalid) {
-  std::istringstream in("1 0 -1 -1 4 -1 -1 4 100 -1 0 0 0 -1 -1 -1 -1 -1\n");
+  std::istringstream in("1 0 -1 -1 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
   SwfReadOptions options;
   options.skip_invalid = false;
   EXPECT_THROW(read_swf(in, 0, options), std::invalid_argument);
+}
+
+TEST(Swf, FiltersNonCompletedStatusesByDefault) {
+  // A trace mixing every archive status: completed (1), failed (0),
+  // cancelled (5), partial (2), and unknown (-1). All records carry
+  // plausible runtimes — exactly the shape that used to be silently
+  // ingested as completed work.
+  std::istringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 0 0 -1 -1 -1 -1 -1\n"    // completed
+      "2 10 -1 50 4 -1 -1 4 200 -1 0 0 0 -1 -1 -1 -1 -1\n"    // failed
+      "3 20 -1 30 4 -1 -1 4 200 -1 5 0 0 -1 -1 -1 -1 -1\n"    // cancelled
+      "4 30 -1 40 4 -1 -1 4 200 -1 2 0 0 -1 -1 -1 -1 -1\n"    // partial
+      "5 40 -1 60 4 -1 -1 4 200 -1 -1 0 0 -1 -1 -1 -1 -1\n")  // unknown
+      ;
+  const SwfReadResult result = read_swf(in);
+  EXPECT_EQ(result.total_records, 5u);
+  EXPECT_EQ(result.filtered_records, 3u);  // failed, cancelled, partial
+  EXPECT_EQ(result.skipped_records, 0u);
+  ASSERT_EQ(result.workload.jobs.size(), 2u);  // completed + unknown
+  EXPECT_EQ(result.workload.jobs[0].runtime, 100);
+  EXPECT_EQ(result.workload.jobs[1].runtime, 60);
+}
+
+TEST(Swf, AcceptedStatusesAreConfigurable) {
+  const std::string trace =
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "2 10 -1 50 4 -1 -1 4 200 -1 5 0 0 -1 -1 -1 -1 -1\n";
+  SwfReadOptions options;
+  options.accepted_statuses = {1, 5};
+  std::istringstream accept_cancelled(trace);
+  const SwfReadResult widened = read_swf(accept_cancelled, 0, options);
+  EXPECT_EQ(widened.workload.jobs.size(), 2u);
+  EXPECT_EQ(widened.filtered_records, 0u);
+
+  options.accepted_statuses.clear();  // empty list disables the filter
+  std::istringstream accept_all(trace);
+  const SwfReadResult unfiltered = read_swf(accept_all, 0, options);
+  EXPECT_EQ(unfiltered.workload.jobs.size(), 2u);
+  EXPECT_EQ(unfiltered.filtered_records, 0u);
+}
+
+TEST(Swf, FilteredRecordsAreNotCountedAsInvalid) {
+  // A cancelled record with a missing runtime is filtered (by status), not
+  // skipped (as malformed) — and must not throw in strict mode either.
+  std::istringstream in("1 0 -1 -1 4 -1 -1 4 200 -1 5 0 0 -1 -1 -1 -1 -1\n");
+  SwfReadOptions options;
+  options.skip_invalid = false;  // strict: invalid records would throw
+  const SwfReadResult result = read_swf(in, 8, options);
+  EXPECT_EQ(result.filtered_records, 1u);
+  EXPECT_EQ(result.skipped_records, 0u);
+  EXPECT_TRUE(result.workload.jobs.empty());
+}
+
+TEST(Swf, HeaderPrefersMaxNodesOverMaxProcs) {
+  // SMP trace: 128 nodes x 4 cores. MaxProcs counts cores and must not
+  // inflate the machine when MaxNodes is present.
+  std::istringstream in(
+      "; MaxNodes: 128\n"
+      "; MaxProcs: 512\n"
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  EXPECT_EQ(result.workload.system_size, 128);
+}
+
+TEST(Swf, HeaderFallsBackToMaxProcsWithoutMaxNodes) {
+  std::istringstream in(
+      "; MaxProcs: 256\n"
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  EXPECT_EQ(result.workload.system_size, 256);
 }
 
 TEST(Swf, SystemSizeFromWidestJobWithoutHeader) {
@@ -99,6 +172,59 @@ TEST(Swf, RoundTripPreservesJobs) {
     EXPECT_EQ(a.user, b.user);
     EXPECT_EQ(a.group, b.group);
   }
+}
+
+TEST(Swf, RoundTripSurvivesForeignNonCompletedRecords) {
+  // A written trace spliced into a larger archive file with failed/cancelled
+  // records round-trips to exactly the original workload: the status filter
+  // drops the foreign records, the writer's own records all carry status 1.
+  const Workload original = generate_small_workload(4, 60, 32, days(2));
+  std::ostringstream out;
+  write_swf(out, original, "status filter round trip");
+  out << "9001 0 -1 500 4 -1 -1 4 600 -1 0 1 1 -1 -1 -1 -1 -1\n"   // failed
+      << "9002 0 -1 500 4 -1 -1 4 600 -1 5 1 1 -1 -1 -1 -1 -1\n";  // cancelled
+  std::istringstream in(out.str());
+  const SwfReadResult reread = read_swf(in);
+  EXPECT_EQ(reread.total_records, original.jobs.size() + 2);
+  EXPECT_EQ(reread.filtered_records, 2u);
+  ASSERT_EQ(reread.workload.jobs.size(), original.jobs.size());
+  EXPECT_EQ(reread.workload.system_size, original.system_size);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    const Job& a = original.jobs[i];
+    const Job& b = reread.workload.jobs[i];
+    EXPECT_EQ(a.submit, b.submit);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.wcl, b.wcl);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.group, b.group);
+  }
+}
+
+TEST(Swf, RoundTripThroughWclFallback) {
+  // A record with no requested time takes wcl = runtime on first read; once
+  // written back out, the materialized wcl must survive further round trips.
+  std::istringstream archive(
+      "; MaxNodes: 16\n"
+      "1 50 -1 300 8 -1 -1 8 -1 -1 1 2 3 -1 -1 -1 -1 -1\n");
+  const SwfReadResult first = read_swf(archive);
+  ASSERT_EQ(first.workload.jobs.size(), 1u);
+  EXPECT_EQ(first.workload.jobs[0].wcl, 300);  // fallback applied
+
+  std::ostringstream out;
+  write_swf(out, first.workload, "wcl fallback round trip");
+  std::istringstream in(out.str());
+  const SwfReadResult second = read_swf(in);
+  ASSERT_EQ(second.workload.jobs.size(), 1u);
+  const Job& a = first.workload.jobs[0];
+  const Job& b = second.workload.jobs[0];
+  EXPECT_EQ(a.submit, b.submit);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.wcl, b.wcl);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_EQ(second.workload.system_size, first.workload.system_size);
 }
 
 TEST(Swf, MissingFileThrows) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Compile-gate for the opt-in binaries: the paper-figure experiments
+# (bench/exp_*, bench/abl_*) and the examples/ programs only build under
+# -DPSCHED_BUILD_EXPERIMENTS=ON, so nothing in the default tier-1 build
+# notices when an API change breaks them. This script configures a separate
+# build tree with experiments enabled and builds everything; run it (or let
+# the verify flow run it) whenever a public header changes.
+#
+# Env knobs:
+#   PSCHED_EXAMPLES_BUILD_DIR  build directory (default build-exp)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${PSCHED_EXAMPLES_BUILD_DIR:-build-exp}"
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DPSCHED_BUILD_EXPERIMENTS=ON -DPSCHED_BUILD_BENCH=OFF >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+echo "examples + experiments compile clean ($BUILD)"

@@ -162,7 +162,8 @@ int main(int argc, char** argv) {
     const workload::SwfReadResult read = workload::read_swf_file(swf_path, system_size);
     trace = read.workload;
     std::cout << "# read " << trace.jobs.size() << " jobs from " << swf_path << " (skipped "
-              << read.skipped_records << ")\n";
+              << read.skipped_records << " invalid, filtered " << read.filtered_records
+              << " non-completed)\n";
   } else {
     workload::GeneratorConfig generator;
     generator.seed = seed;

@@ -11,6 +11,13 @@
 # shows parallel gain on multi-core hosts (pool size is recorded per case).
 # tools/run_tsan.sh is the sibling data-race pass over the same concurrency.
 #
+# Deep-queue cases: perf_profile's BM_ProfilePack*/BM_ProfileEarliestFitDeep
+# and perf_schedulers' BM_*DeepQueue families measure the gap-indexed
+# profile on 10k+ reservation plans (for the *DeepQueue pairs, BM_RefSim* is
+# the same scheduler with the gap index disabled, i.e. the linear-scan
+# profile). The conservative deep sims run minutes-long single iterations on
+# a slow host — budget ~10 minutes for a full refresh.
+#
 # Env knobs:
 #   PSCHED_BENCH_MIN_TIME   min seconds per benchmark case (default 0.2)
 #   PSCHED_BENCH_BUILD_DIR  build directory (default build-bench)
