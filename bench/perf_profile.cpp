@@ -119,9 +119,6 @@ void BM_RefProfileEarliestFitContended(benchmark::State& state) {
 BENCHMARK(BM_ProfileEarliestFitContended)->Arg(256)->Arg(1024);
 BENCHMARK(BM_RefProfileEarliestFitContended)->Arg(256)->Arg(1024);
 
-constexpr std::size_t kIndexAlways = 0;
-constexpr std::size_t kIndexNever = static_cast<std::size_t>(-1);
-
 // --- deep-queue cases (the ROADMAP's 10k+ reservation scenario) --------------
 //
 // BM_ProfileEarliestFitDeep queries a prebuilt deep profile (the gap index
@@ -199,11 +196,11 @@ void BM_RefProfilePack(benchmark::State& state) {
   run_pack<reference::ReferenceProfile>(state);
 }
 void BM_ProfilePackIndexed(benchmark::State& state) {
-  Profile::ThresholdGuard force(kIndexAlways);
+  Profile::ThresholdGuard force(Profile::kForceIndex);
   run_pack<Profile>(state);
 }
 void BM_ProfilePackLinear(benchmark::State& state) {
-  Profile::ThresholdGuard force(kIndexNever);
+  Profile::ThresholdGuard force(Profile::kDisableIndex);
   run_pack<Profile>(state);
 }
 // BM_ProfilePack uses the production threshold; the Indexed/Linear variants

@@ -60,7 +60,7 @@ BENCHMARK(BM_SimConservativeDynamic)->Arg(1000)->Arg(4000)->Unit(benchmark::kMil
 // so a conservative plan holds (jobs) simultaneous reservations and every
 // completion triggers a heavy compression/replan pass over the whole queue.
 // The BM_Ref* twins here run the SAME optimized scheduler but with the
-// Profile gap index disabled (Profile::set_gap_index_threshold(SIZE_MAX)),
+// Profile gap index disabled (ThresholdGuard with Profile::kDisableIndex),
 // i.e. the linear-scan profile — so speedup_vs_reference records exactly
 // what the index buys on deep replans, end to end.
 
@@ -76,8 +76,10 @@ const Workload& deep_burst_trace(std::size_t jobs) {
       job.id = static_cast<JobId>(i);
       job.user = static_cast<UserId>(rng.uniform_int(0, 15));
       job.submit = rng.uniform_int(0, 3600);
-      // Realistic width mix (the paper's CPlant jobs span the full machine):
-      // mostly narrow, with a heavy wide tail.
+      // Widths uniform over [1, 96] of the 128-node machine: wide jobs are
+      // deliberately over-represented vs real traces so every replan has to
+      // re-seat work across large reservations (the profile-stressing case
+      // the gap_index_threshold sweep was tuned on).
       job.nodes = static_cast<NodeCount>(rng.uniform_int(1, 96));
       job.runtime = rng.uniform_int(120, 4000);
       job.wcl = job.runtime + rng.uniform_int(0, 2000);
@@ -104,25 +106,23 @@ void run_deep_queue_bench(benchmark::State& state, PolicyKind kind, std::size_t 
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs));
 }
 
-constexpr std::size_t kLinearScan = static_cast<std::size_t>(-1);
-
 void BM_SimConservativeDeepQueue(benchmark::State& state) {
   run_deep_queue_bench(state, PolicyKind::Conservative, Profile::gap_index_threshold());
 }
 void BM_RefSimConservativeDeepQueue(benchmark::State& state) {
-  run_deep_queue_bench(state, PolicyKind::Conservative, kLinearScan);
+  run_deep_queue_bench(state, PolicyKind::Conservative, Profile::kDisableIndex);
 }
 void BM_SimConservativeDynamicDeepQueue(benchmark::State& state) {
   run_deep_queue_bench(state, PolicyKind::ConservativeDynamic, Profile::gap_index_threshold());
 }
 void BM_RefSimConservativeDynamicDeepQueue(benchmark::State& state) {
-  run_deep_queue_bench(state, PolicyKind::ConservativeDynamic, kLinearScan);
+  run_deep_queue_bench(state, PolicyKind::ConservativeDynamic, Profile::kDisableIndex);
 }
 void BM_SimCplantDeepQueue(benchmark::State& state) {
   run_deep_queue_bench(state, PolicyKind::Cplant, Profile::gap_index_threshold());
 }
 void BM_RefSimCplantDeepQueue(benchmark::State& state) {
-  run_deep_queue_bench(state, PolicyKind::Cplant, kLinearScan);
+  run_deep_queue_bench(state, PolicyKind::Cplant, Profile::kDisableIndex);
 }
 
 // Depths bracket the measured crossover (the default

@@ -1,6 +1,7 @@
 #include "core/profile.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -106,7 +107,9 @@ void Profile::coalesce_range(std::size_t lo, std::size_t hi) {
     steps_[out++] = steps_[i];
   }
   if (out < end) {
-    index_mark(steps_[lo].at, steps_[end - 1].at);  // buckets losing members
+    // No index_mark: coalescing only erases steps equal to their
+    // predecessor, so the free FUNCTION — which the bucket aggregates are
+    // computed over, via covering steps — is pointwise unchanged.
     steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(out),
                  steps_.begin() + static_cast<std::ptrdiff_t>(end));
     hint_ = out - 1;
@@ -120,7 +123,8 @@ void Profile::coalesce_all() {
     steps_[out++] = steps_[i];
   }
   if (out < steps_.size()) {
-    index_mark(steps_.front().at, steps_.back().at);  // erasures anywhere in the span
+    // No index_mark — see coalesce_range: erasures leave the free function
+    // (and thus every bucket aggregate) unchanged.
     steps_.resize(out);
   }
   hint_ = 0;
@@ -261,10 +265,11 @@ constexpr std::uint32_t kAllStale = 0xFFFFFFFFu;
 constexpr std::uint32_t kMinStale = 0x80000000u;
 
 /// Width class with 2^c <= nodes (nodes >= 1): runs kept for class c are a
-/// superset of the true nodes-feasible runs, so skips stay safe.
+/// superset of the true nodes-feasible runs, so skips stay safe. The shift
+/// is 64-bit: nodes >= 2^30 needs 2 << 30, which overflows 32-bit NodeCount.
 int width_class(NodeCount nodes) {
   int c = 0;
-  while ((NodeCount{2} << c) <= nodes) ++c;
+  while ((std::int64_t{2} << c) <= nodes) ++c;
   return c;
 }
 }  // namespace
@@ -286,23 +291,33 @@ void Profile::index_sync() const {
   const Time span_hi = steps_.back().at;
   bool rebuild = !index_built_;
   if (!rebuild) {
-    // Extend coverage to the current horizon (new buckets start dirty).
-    const auto needed =
+    // Re-key when the population drifts far from target (4x hysteresis on
+    // both sides avoids thrash), deciding on the WOULD-BE bucket count
+    // before any resize: one far-future breakpoint can demand millions of
+    // buckets at the current width, and materializing those tables just to
+    // discard them in the rebuild below can exhaust memory. The too-fine
+    // test divides instead of multiplying so a huge horizon cannot
+    // overflow; past it, needed <= n/8 bounds the too-coarse product.
+    // The too-coarse test uses the SPAN's bucket count, not the table's:
+    // when a far-future reservation is removed the span collapses but the
+    // table keeps its trailing buckets, and judging coarseness by table
+    // size would leave the whole live region inside one bucket forever.
+    // advance_origin also funnels through here: dead leading buckets
+    // inflate the count until a rebuild re-anchors bucket_time0_ at the
+    // current origin.
+    const std::size_t span_buckets =
         static_cast<std::size_t>((span_hi - bucket_time0_) >> bucket_shift_) + 1;
-    if (needed > bucket_dirty_.size()) {
+    const std::size_t needed = std::max(span_buckets, bucket_dirty_.size());
+    if (needed > 16 && needed > n / (kStepsPerBucket / 4))
+      rebuild = true;  // too fine: fewer than ~8 steps per bucket
+    else if (n > span_buckets * kStepsPerBucket * 4)
+      rebuild = true;  // too coarse: probes would scan huge buckets
+    else if (needed > bucket_dirty_.size()) {
+      // Extend coverage to the current horizon (new buckets start dirty).
       bucket_min_.resize(needed);
       bucket_runs_.resize(needed * static_cast<std::size_t>(bucket_classes_));
       bucket_dirty_.resize(needed, kAllStale);
     }
-    // Re-key when the population drifts far from target (4x hysteresis on
-    // both sides avoids thrash). advance_origin also funnels through here:
-    // dead leading buckets inflate the count until a rebuild re-anchors
-    // bucket_time0_ at the current origin.
-    const std::size_t count = bucket_dirty_.size();
-    if (count > 16 && count * (kStepsPerBucket / 4) > n)
-      rebuild = true;  // too fine: fewer than ~8 steps per bucket
-    else if (n > count * kStepsPerBucket * 4)
-      rebuild = true;  // too coarse: probes would scan huge buckets
   }
   if (rebuild) {
     int classes = 1;
@@ -472,7 +487,11 @@ Time Profile::earliest_fit_indexed(Time earliest, Time duration, NodeCount nodes
   const std::size_t buckets = bucket_dirty_.size();
   const int classes = bucket_classes_;
   const Time width = Time{1} << bucket_shift_;
-  const int wclass = width_class(nodes);
+  // The table only stores bucket_classes_ classes (capped at kMaxClasses-1);
+  // capacity_ >= 2^30 puts the widest jobs one class past that. Clamping
+  // down stays safe — a smaller width class keeps a superset of the true
+  // feasible runs — it only skips less.
+  const int wclass = std::min(width_class(nodes), bucket_classes_ - 1);
   std::size_t i = step_index(earliest);
   bool open = steps_[i].free >= nodes;  // a feasible window is in progress
   Time candidate = earliest;

@@ -139,9 +139,14 @@ class Profile {
   // bench/perf_profile's BM_ProfilePackIndexed/BM_ProfilePackLinear pair —
   // see the gap-index section of ROADMAP.md for the numbers.
 
+  /// Sentinels for set_gap_index_threshold / ThresholdGuard: force the
+  /// index on from the first breakpoint, or disable it entirely.
+  static constexpr std::size_t kForceIndex = 0;
+  static constexpr std::size_t kDisableIndex = static_cast<std::size_t>(-1);
+
   /// Minimum breakpoints() before queries consult the gap index.
   static std::size_t gap_index_threshold();
-  /// Override the crossover: 0 forces the index on, SIZE_MAX disables it.
+  /// Override the crossover (kForceIndex / kDisableIndex for the extremes).
   /// Process-global; meant for benchmarks and tests. Do not call while other
   /// threads are running Profile queries.
   static void set_gap_index_threshold(std::size_t threshold);

@@ -48,9 +48,6 @@ bool parse_header_int(const std::string& line, const std::string& key, long long
 
 SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOptions& options) {
   SwfReadResult result;
-  // MaxNodes and MaxProcs are tracked separately: on SMP machines MaxProcs
-  // counts cores (>> nodes), so it only sizes the machine when MaxNodes is
-  // absent from the header.
   NodeCount header_nodes = 0;
   NodeCount header_procs = 0;
   std::string line;
@@ -110,9 +107,15 @@ SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOpt
 
   NodeCount widest = 0;
   for (const Job& job : result.workload.jobs) widest = std::max(widest, job.nodes);
-  const NodeCount header_size = header_nodes > 0 ? header_nodes : header_procs;
+  // Job widths come from the AllocatedProcs/RequestedProcs fields, i.e. they
+  // are PROCESSOR counts, so the machine must be sized in the same unit: on
+  // SMP traces (MaxProcs >> MaxNodes) sizing by MaxNodes would reject — or
+  // silently overload — jobs wider than the node count. The widest ingested
+  // job is additionally a floor, so an understated or truncated header can
+  // never make validate() reject work the traced machine actually ran.
+  const NodeCount header_size = std::max(header_nodes, header_procs);
   result.workload.system_size =
-      system_size > 0 ? system_size : (header_size > 0 ? header_size : widest);
+      system_size > 0 ? system_size : std::max(header_size, widest);
   if (result.workload.system_size <= 0) result.workload.system_size = 1;
   result.workload.normalize();
   result.workload.validate();

@@ -45,10 +45,12 @@ struct SwfReadResult {
   std::size_t filtered_records = 0;
 };
 
-/// Parse an SWF stream. `system_size` <= 0 takes the machine size from the
-/// header comments — MaxNodes when present, falling back to MaxProcs only
-/// when MaxNodes is absent (SMP traces have MaxProcs >> MaxNodes and would
-/// inflate the machine) — or the widest job if neither is given.
+/// Parse an SWF stream. `system_size` <= 0 derives the machine size as
+/// max(MaxNodes, MaxProcs, widest job). Job widths are processor counts
+/// (SWF AllocatedProcs), so on SMP traces MaxProcs — not MaxNodes — is the
+/// matching unit, and the widest-job floor guards against understated
+/// headers. An explicit `system_size` is taken as-is; jobs wider than it
+/// make validate() throw.
 SwfReadResult read_swf(std::istream& in, NodeCount system_size = 0,
                        const SwfReadOptions& options = {});
 SwfReadResult read_swf_file(const std::string& path, NodeCount system_size = 0,

@@ -17,14 +17,11 @@
 namespace psched {
 namespace {
 
-constexpr std::size_t kIndexAlways = 0;
-constexpr std::size_t kIndexNever = static_cast<std::size_t>(-1);
-
 TEST(ProfileDeep, ForcedIndexMatchesReferenceOnRandomOps) {
   // The randomized diff of test_core_profile_diff.cpp, but with the index
   // forced on from the first breakpoint, so shallow profiles exercise the
   // tree descents and the lazy suffix rebuilds too.
-  Profile::ThresholdGuard guard(kIndexAlways);
+  Profile::ThresholdGuard guard(Profile::kForceIndex);
   util::Rng rng(20260729);
   for (int round = 0; round < 10; ++round) {
     const NodeCount capacity = static_cast<NodeCount>(rng.uniform_int(4, 1024));
@@ -77,7 +74,7 @@ TEST(ProfileDeep, ForcedIndexMatchesReferenceOnRandomOps) {
 }
 
 TEST(ProfileDeep, ForcedIndexSurvivesBatchesAndAdvanceOrigin) {
-  Profile::ThresholdGuard guard(kIndexAlways);
+  Profile::ThresholdGuard guard(Profile::kForceIndex);
   util::Rng rng(55);
   Profile opt(256, 0);
   reference::ReferenceProfile ref(256, 0);
@@ -104,6 +101,46 @@ TEST(ProfileDeep, ForcedIndexSurvivesBatchesAndAdvanceOrigin) {
   for (Time t = cut; t < 320'000; t += 503) {
     ASSERT_EQ(opt.free_at(t), ref.free_at(t)) << t;
     ASSERT_EQ(opt.earliest_fit(t, 7200, 128), ref.earliest_fit(t, 7200, 128)) << t;
+  }
+}
+
+TEST(ProfileDeep, FarFutureReservationRekeysInsteadOfResizing) {
+  // Regression: index_sync used to extend the bucket tables to the new
+  // horizon at the old bucket width BEFORE the re-key check could run, so
+  // one far-future reservation on a dense profile demanded a multi-gigabyte
+  // allocation (~17 GB for the horizon below). The re-key decision must
+  // fire on the would-be bucket count; if it regresses, this test OOMs.
+  Profile::ThresholdGuard guard(Profile::kForceIndex);
+  util::Rng rng(7);
+  Profile opt(1024, 0);
+  reference::ReferenceProfile ref(1024, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const Time from = rng.uniform_int(0, 1'200'000);
+    const Time to = from + rng.uniform_int(60, 40'000);
+    const NodeCount nodes = static_cast<NodeCount>(rng.uniform_int(1, 64));
+    if (ref.fits_at(from, to - from, nodes)) {
+      opt.add_usage(from, to, nodes);
+      ref.add_usage(from, to, nodes);
+    }
+  }
+  opt.earliest_fit(0, 3600, 512);  // key the index to the dense ~1.2M-s span
+  const Time far = Time{1} << 40;  // ~35k-year horizon in seconds
+  opt.add_usage(far, far + 100, 1024);
+  ref.add_usage(far, far + 100, 1024);
+  for (Time t = 0; t < 1'400'000; t += 37'003) {
+    ASSERT_EQ(opt.earliest_fit(t, 3600, 512), ref.earliest_fit(t, 3600, 512)) << t;
+  }
+  ASSERT_EQ(opt.earliest_fit(far - 50, 200, 1024), ref.earliest_fit(far - 50, 200, 1024));
+  ASSERT_EQ(opt.free_at(far + 50), ref.free_at(far + 50));
+
+  // Removing the far reservation collapses the span back to ~1.2M s while
+  // the table still covers the 2^40 horizon; the shrink-side re-key must
+  // restore a dense keying (and queries must stay exact through it).
+  opt.remove_usage(far, far + 100, 1024);
+  ref.remove_usage(far, far + 100, 1024);
+  for (Time t = 0; t < 1'400'000; t += 37'003) {
+    ASSERT_EQ(opt.earliest_fit(t, 3600, 512), ref.earliest_fit(t, 3600, 512)) << t;
+    ASSERT_EQ(opt.fits_at(t, 7200, 256), ref.fits_at(t, 7200, 256)) << t;
   }
 }
 
@@ -134,8 +171,8 @@ TEST(ProfileDeep, DeepPackIndexedMatchesLinearScan) {
     return std::make_pair(std::move(starts), profile.debug_string());
   };
 
-  const auto [starts_indexed, shape_indexed] = pack(kIndexAlways);
-  const auto [starts_linear, shape_linear] = pack(kIndexNever);
+  const auto [starts_indexed, shape_indexed] = pack(Profile::kForceIndex);
+  const auto [starts_linear, shape_linear] = pack(Profile::kDisableIndex);
   ASSERT_EQ(starts_indexed.size(), starts_linear.size());
   for (std::size_t i = 0; i < starts_indexed.size(); ++i)
     ASSERT_EQ(starts_indexed[i], starts_linear[i]) << "slot diverged for job " << i;
@@ -180,8 +217,8 @@ TEST(ProfileDeep, HeavyReplanSimulationIsIndexInvariant) {
       config.record_snapshots = false;
       return sim::simulate(trace, config);
     };
-    const SimulationResult indexed = run(kIndexAlways);
-    const SimulationResult linear = run(kIndexNever);
+    const SimulationResult indexed = run(Profile::kForceIndex);
+    const SimulationResult linear = run(Profile::kDisableIndex);
     ASSERT_EQ(indexed.records.size(), linear.records.size());
     for (std::size_t i = 0; i < indexed.records.size(); ++i) {
       ASSERT_EQ(indexed.records[i].start, linear.records[i].start)

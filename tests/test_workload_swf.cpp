@@ -111,15 +111,43 @@ TEST(Swf, FilteredRecordsAreNotCountedAsInvalid) {
   EXPECT_TRUE(result.workload.jobs.empty());
 }
 
-TEST(Swf, HeaderPrefersMaxNodesOverMaxProcs) {
-  // SMP trace: 128 nodes x 4 cores. MaxProcs counts cores and must not
-  // inflate the machine when MaxNodes is present.
+TEST(Swf, HeaderSizesMachineInProcessorUnits) {
+  // SMP trace: 128 nodes x 4 cores. Job widths are processor counts
+  // (AllocatedProcs), so the machine must be sized by MaxProcs, not
+  // MaxNodes — otherwise a 512-proc machine is modeled as 128 units while
+  // jobs still ask for up to 512.
   std::istringstream in(
       "; MaxNodes: 128\n"
       "; MaxProcs: 512\n"
       "1 0 -1 100 4 -1 -1 4 200 -1 1 0 0 -1 -1 -1 -1 -1\n");
   const SwfReadResult result = read_swf(in);
-  EXPECT_EQ(result.workload.system_size, 128);
+  EXPECT_EQ(result.workload.system_size, 512);
+}
+
+TEST(Swf, JobWiderThanMaxNodesIngestsOnSmpTrace) {
+  // Regression: sizing by MaxNodes made any job allocating more processors
+  // than the node count throw in Workload::validate(). The 256-proc job
+  // below ran on the traced 128x4 machine and must ingest cleanly.
+  std::istringstream in(
+      "; MaxNodes: 128\n"
+      "; MaxProcs: 512\n"
+      "1 0 -1 100 256 -1 -1 256 200 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  ASSERT_EQ(result.workload.jobs.size(), 1u);
+  EXPECT_EQ(result.workload.jobs[0].nodes, 256);
+  EXPECT_EQ(result.workload.system_size, 512);
+}
+
+TEST(Swf, WidestJobLiftsUndersizedHeader) {
+  // A header understating the machine (here MaxNodes with no MaxProcs on
+  // what was really an SMP trace) is clamped up to the widest ingested job
+  // instead of rejecting it.
+  std::istringstream in(
+      "; MaxNodes: 16\n"
+      "1 0 -1 100 24 -1 -1 24 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  const SwfReadResult result = read_swf(in);
+  ASSERT_EQ(result.workload.jobs.size(), 1u);
+  EXPECT_EQ(result.workload.system_size, 24);
 }
 
 TEST(Swf, HeaderFallsBackToMaxProcsWithoutMaxNodes) {
