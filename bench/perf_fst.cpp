@@ -1,22 +1,44 @@
-// Hybrid-FST engine throughput: serial vs thread-pool scaling over the
-// per-arrival snapshots of one simulation, plus the preserved seed FST loop
-// (per-snapshot allocation + sort-per-occupy list scheduler) so the recorded
-// BENCH_fst.json baseline carries the fast-path speedup as a measured pair.
+// FST engine throughput, two families:
+//
+//  * Hybrid FST (the paper's metric): serial vs thread-pool scaling over the
+//    per-arrival snapshots of one simulation, plus the preserved seed loop
+//    (per-snapshot allocation + sort-per-occupy list scheduler) so the
+//    recorded BENCH_fst.json baseline carries the speedup as a measured pair.
+//  * Policy-knowledge FST (Sabin et al., "no later arrivals" under the actual
+//    policy): the forked-engine one-pass path (BM_PolicyFstForked) vs the
+//    preserved naive per-job re-simulation (BM_RefPolicyFstNaive — O(n^2)
+//    simulated events, so it runs single iterations at deep trace sizes).
+//    The forked/naive gap grows with trace length; summarize_benches.py
+//    pairs the two into BENCH_fst.json's speedup_vs_reference.
+//
+// Parallel cases record pool_threads/jobs so the committed numbers are
+// self-describing: on a 1-CPU container parallel ≈ serial by construction.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
 #include "core/reference_profile.hpp"
 #include "metrics/fst.hpp"
 #include "sim/engine.hpp"
+#include "sim/policy_fst.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace {
 
 using namespace psched;
+
+/// jobs = concurrent FST computations in flight (pool size when parallel);
+/// pool_threads = the global pool the run could have used.
+void record_pool_counters(benchmark::State& state, bool parallel) {
+  state.counters["jobs"] =
+      parallel ? static_cast<double>(util::global_pool().size()) : 1.0;
+  state.counters["pool_threads"] = static_cast<double>(util::global_pool().size());
+}
 
 /// The seed per-snapshot FST computation, verbatim: a freshly allocated
 /// per-node list scheduler and a freshly allocated order buffer per snapshot.
@@ -59,6 +81,7 @@ void BM_HybridFstSerial(benchmark::State& state) {
   options.parallel = false;
   for (auto _ : state) benchmark::DoNotOptimize(metrics::hybrid_fairshare_fst(input, options));
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
+  record_pool_counters(state, /*parallel=*/false);
 }
 BENCHMARK(BM_HybridFstSerial)->Unit(benchmark::kMillisecond);
 
@@ -68,8 +91,60 @@ void BM_HybridFstParallel(benchmark::State& state) {
   options.parallel = true;
   for (auto _ : state) benchmark::DoNotOptimize(metrics::hybrid_fairshare_fst(input, options));
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(input.records.size()));
+  record_pool_counters(state, /*parallel=*/true);
 }
 BENCHMARK(BM_HybridFstParallel)->Unit(benchmark::kMillisecond);
+
+// --- policy-knowledge FST: forked engine vs naive re-simulation -------------
+
+/// Deep traces for the policy FST pair, one per requested length; arrival
+/// density matches fst_input (100 jobs/day on 1024 nodes) so load — and with
+/// it the fork-drain tail length — stays comparable across sizes.
+const Workload& policy_fst_trace(std::int64_t jobs) {
+  static std::map<std::int64_t, Workload> traces;
+  auto it = traces.find(jobs);
+  if (it == traces.end()) {
+    it = traces
+             .emplace(jobs, workload::generate_small_workload(
+                                9, static_cast<std::size_t>(jobs), 1024,
+                                days(std::max<std::int64_t>(1, jobs / 100))))
+             .first;
+  }
+  return it->second;
+}
+
+sim::EngineConfig policy_fst_config() {
+  sim::EngineConfig config;
+  config.policy.kind = PolicyKind::Cplant;  // the paper's production baseline
+  return config;
+}
+
+void BM_PolicyFstForked(benchmark::State& state) {
+  const Workload& trace = policy_fst_trace(state.range(0));
+  const sim::EngineConfig config = policy_fst_config();
+  sim::PolicyFstOptions options;
+  options.parallel = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::policy_no_later_arrivals_fst(trace, config, options));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.jobs.size()));
+  record_pool_counters(state, /*parallel=*/true);
+}
+BENCHMARK(BM_PolicyFstForked)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+// The preserved seed path: one truncated re-simulation per job. Quadratic,
+// so it runs exactly one iteration per size (the 5k case alone is minutes of
+// wall clock on a slow host — see tools/run_benches.sh's budget note).
+void BM_RefPolicyFstNaive(benchmark::State& state) {
+  const Workload& trace = policy_fst_trace(state.range(0));
+  const sim::EngineConfig config = policy_fst_config();
+  sim::PolicyFstOptions options;
+  options.parallel = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::policy_no_later_arrivals_fst_naive(trace, config, options));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.jobs.size()));
+  record_pool_counters(state, /*parallel=*/true);
+}
+BENCHMARK(BM_RefPolicyFstNaive)->Arg(1000)->Arg(5000)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_RefHybridFstSerial(benchmark::State& state) {
   const SimulationResult& input = fst_input();

@@ -62,6 +62,11 @@ class WidestFirstScheduler final : public Scheduler {
 
   std::optional<Time> next_wakeup() const override { return wakeup_; }
 
+  // Optional, but makes the policy forkable: sim::policy_no_later_arrivals_fst
+  // and SimulationEngine::fork_for_arrival need a deep copy of the scheduler
+  // state (without it, forking throws). Value members make it one line.
+  std::unique_ptr<Scheduler> clone() const override { return cloned(*this); }
+
  private:
   std::vector<JobId> waiting_;
   std::optional<Time> wakeup_;

@@ -2,7 +2,9 @@
 // (section 4) on one schedule — the hybrid fairshare FST (the paper's
 // metric), the CONS_P FST of Srinivasan et al., and the per-policy
 // "no later arrivals" FST of Sabin et al. — plus the resource-equality
-// metric, on a small trace where the O(n^2) Sabin variant is affordable.
+// metric. The Sabin variant runs on the forked simulation engine (one pass
+// plus a per-arrival fork) instead of the historical O(n^2) per-job
+// re-simulation, so it is no longer restricted to toy traces.
 
 #include <iostream>
 
@@ -26,7 +28,8 @@ int main() {
   const metrics::FstResult hybrid = metrics::hybrid_fairshare_fst(result);
   const metrics::FstResult consp = metrics::cons_p_fst(result);
 
-  // Sabin et al.: re-run the policy once per job with later arrivals removed.
+  // Sabin et al.: the policy's own schedule with later arrivals removed —
+  // one forked drain per job instead of a full re-simulation per job.
   const std::vector<Time> sabin_fst = sim::policy_no_later_arrivals_fst(trace, config);
   std::size_t sabin_unfair = 0;
   double sabin_miss = 0.0;

@@ -51,6 +51,12 @@ class ConservativeScheduler final : public Scheduler {
   void on_complete(JobId id) override;
   void collect_starts(std::vector<JobId>& starts) override;
   std::optional<Time> next_wakeup() const override;
+  /// Copies the whole incremental-planning state — the persistent plan
+  /// `Profile` (with its live gap index; Profile's value semantics are
+  /// pinned by ProfileDeep.CopyMidDirty*), reservations, pending event
+  /// queues and the fixed-point compression flags — so a fork replans
+  /// byte-identically to the original from the clone point on.
+  std::unique_ptr<Scheduler> clone() const override { return cloned(*this); }
 
   const ConservativeConfig& config() const { return config_; }
 

@@ -40,6 +40,7 @@ class CplantScheduler final : public Scheduler {
   void on_complete(JobId id) override;
   void collect_starts(std::vector<JobId>& starts) override;
   std::optional<Time> next_wakeup() const override;
+  std::unique_ptr<Scheduler> clone() const override { return cloned(*this); }
 
   const CplantConfig& config() const { return config_; }
   /// Jobs currently in the starvation queue (FCFS order); exposed for tests.

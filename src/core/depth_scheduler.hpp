@@ -29,6 +29,7 @@ class DepthScheduler final : public Scheduler {
   void on_complete(JobId id) override;
   void collect_starts(std::vector<JobId>& starts) override;
   std::optional<Time> next_wakeup() const override;
+  std::unique_ptr<Scheduler> clone() const override { return cloned(*this); }
 
   const DepthConfig& config() const { return config_; }
 

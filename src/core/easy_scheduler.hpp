@@ -20,6 +20,7 @@ class EasyScheduler final : public Scheduler {
   void on_complete(JobId id) override;
   void collect_starts(std::vector<JobId>& starts) override;
   std::optional<Time> next_wakeup() const override;
+  std::unique_ptr<Scheduler> clone() const override { return cloned(*this); }
 
  private:
   PriorityKind priority_;

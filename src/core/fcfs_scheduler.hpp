@@ -20,6 +20,7 @@ class FcfsScheduler final : public Scheduler {
   void on_submit(JobId id) override;
   void on_complete(JobId id) override;
   void collect_starts(std::vector<JobId>& starts) override;
+  std::unique_ptr<Scheduler> clone() const override { return cloned(*this); }
 
  private:
   PriorityKind priority_;

@@ -5,6 +5,7 @@
 // questions at every scheduling event: "which waiting jobs start right now?"
 // and "when do you next need to act without an external event?".
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,8 +73,27 @@ class Scheduler {
   /// starvation-queue eligibility, ...). nullopt = only external events.
   virtual std::optional<Time> next_wakeup() const { return std::nullopt; }
 
+  /// Deep-copy the scheduler, including all queue and planning state (e.g.
+  /// the conservative family's persistent plan profile). The clone is NOT
+  /// attached — the new owner must call attach() with its own context before
+  /// delivering events. This is what makes the simulation engine forkable
+  /// (sim::SimulationEngine::fork_for_arrival): a fork resumes mid-run from
+  /// a byte-identical policy state. The default returns nullptr, meaning the
+  /// scheduler does not support forking; all built-in policies override it.
+  virtual std::unique_ptr<Scheduler> clone() const { return nullptr; }
+
  protected:
   const SchedulerContext& ctx() const;
+
+  /// Helper for clone() implementations: copy-construct `Derived` and clear
+  /// the copied context pointer, so using the clone before attach() fails
+  /// loudly instead of silently reading the original engine's state.
+  template <typename Derived>
+  static std::unique_ptr<Scheduler> cloned(const Derived& self) {
+    auto copy = std::make_unique<Derived>(self);
+    copy->ctx_ = nullptr;
+    return copy;
+  }
 
   /// true if a's queue priority is ahead of b's under `kind`.
   bool priority_less(const Job& a, const Job& b, PriorityKind kind) const;

@@ -37,9 +37,74 @@ SimulationEngine::SimulationEngine(const Workload& workload, EngineConfig config
     for (std::int32_t s = 0; s < count; ++s) {
       const Job segment = limiter_.make_segment(original, s, /*id=*/0, original.submit);
       const JobId record = add_record(segment);
-      events_.push({segment.submit, EventKind::Arrive, record});
+      push_event({segment.submit, EventKind::Arrive, record});
     }
   }
+}
+
+SimulationEngine::SimulationEngine(const SimulationEngine& other, JobId target)
+    : workload_(other.workload_),
+      config_(other.config_),
+      limiter_(other.limiter_),
+      scheduler_(other.scheduler_->clone()),
+      fairshare_(other.fairshare_),
+      system_size_(other.system_size_),
+      free_nodes_(other.free_nodes_),
+      now_(other.now_),
+      ran_(true),
+      pending_timers_(other.pending_timers_),
+      arrival_limit_(target),
+      running_state_(other.running_state_),
+      running_view_(other.running_view_),
+      waiting_(other.waiting_),
+      waiting_pos_(other.waiting_pos_),
+      waiting_demand_(other.waiting_demand_),
+      running_nodes_(other.running_nodes_) {
+  if (!scheduler_)
+    throw std::logic_error("SimulationEngine::fork: the scheduler does not implement clone()");
+  scheduler_->attach(*this);
+  config_.record_snapshots = false;  // forks exist only to produce start times
+
+  // Pending events survive the fork except arrivals past the target — the
+  // fork's universe ends with job `target`, exactly like a workload truncated
+  // after it.
+  events_.reserve(other.events_.size());
+  for (const Event& event : other.events_)
+    if (event.kind != EventKind::Arrive || event.id <= target) events_.push_back(event);
+  std::make_heap(events_.begin(), events_.end(), std::greater<Event>{});
+
+  // Trim per-record storage to the fork's universe; later records can never
+  // be referenced (their arrivals were dropped above).
+  const auto count = static_cast<std::size_t>(target) + 1;
+  result_.policy_name = other.result_.policy_name;
+  result_.system_size = other.result_.system_size;
+  result_.records.assign(other.result_.records.begin(),
+                         other.result_.records.begin() + static_cast<std::ptrdiff_t>(count));
+  result_.segments_of_original.assign(
+      other.result_.segments_of_original.begin(),
+      other.result_.segments_of_original.begin() + static_cast<std::ptrdiff_t>(count));
+  result_.original_job_count = count;
+  result_.first_start = other.result_.first_start;
+  result_.last_finish = other.result_.last_finish;
+  result_.busy_proc_seconds = other.result_.busy_proc_seconds;
+  result_.loc_proc_seconds = other.result_.loc_proc_seconds;
+}
+
+std::unique_ptr<SimulationEngine> SimulationEngine::fork_for_arrival(JobId target) const {
+  if (limiter_.enabled())
+    throw std::logic_error(
+        "SimulationEngine::fork_for_arrival: runtime-limit segments break the record-id == "
+        "workload-index identity forks rely on");
+  if (target < 0 || static_cast<std::size_t>(target) >= result_.records.size())
+    throw std::out_of_range("SimulationEngine::fork_for_arrival: unknown record id");
+  // The state-equivalence argument holds exactly when the target's arrival
+  // is the next pending event (the hook fires there); forking any other id
+  // would silently yield a start from the wrong universe, so check it.
+  if (events_.empty() || events_top().kind != EventKind::Arrive || events_top().id != target)
+    throw std::logic_error(
+        "SimulationEngine::fork_for_arrival: only valid from inside the arrival hook for the "
+        "target (its arrival must be the next pending event)");
+  return std::unique_ptr<SimulationEngine>(new SimulationEngine(*this, target));
 }
 
 const Job& SimulationEngine::job(JobId id) const {
@@ -142,12 +207,12 @@ void SimulationEngine::start_job(JobId id) {
   running_view_.push_back({id, j.nodes, now_, now_ + j.wcl});
 
   if (killed) {
-    events_.push({end, EventKind::Complete, id});
+    push_event({end, EventKind::Complete, id});
     result_.records[static_cast<std::size_t>(id)].killed_at_wcl = true;
   } else {
-    events_.push({now_ + j.runtime, EventKind::Complete, id});
+    push_event({now_ + j.runtime, EventKind::Complete, id});
     if (config_.wcl_enforcement == WclEnforcement::KillIfNeeded && j.wcl < j.runtime)
-      events_.push({now_ + j.wcl, EventKind::WclCheck, id});
+      push_event({now_ + j.wcl, EventKind::WclCheck, id});
   }
 }
 
@@ -179,7 +244,7 @@ void SimulationEngine::deliver_completion(JobId id, Time finish, bool killed) {
     const std::optional<Job> next = limiter_.next_segment(original, j, finish, /*id=*/0);
     if (next) {
       const JobId next_record = add_record(*next);
-      events_.push({finish, EventKind::Arrive, next_record});
+      push_event({finish, EventKind::Arrive, next_record});
     }
   }
 }
@@ -199,34 +264,45 @@ void SimulationEngine::handle_wcl_check(JobId id) {
   if (needed)
     deliver_completion(id, now_, /*killed=*/true);
   else
-    events_.push({now_ + config_.wcl_recheck_interval, EventKind::WclCheck, id});
+    push_event({now_ + config_.wcl_recheck_interval, EventKind::WclCheck, id});
 }
 
 void SimulationEngine::schedule_timer(Time at) {
   if (at <= now_) at = now_ + 1;
-  if (pending_timers_.insert(at).second) events_.push({at, EventKind::Timer, kInvalidJob});
+  if (pending_timers_.insert(at).second) push_event({at, EventKind::Timer, kInvalidJob});
 }
 
-SimulationResult SimulationEngine::run() {
-  if (ran_) throw std::logic_error("SimulationEngine::run called twice");
-  ran_ = true;
-  if (config_.record_snapshots) result_.snapshots.resize(result_.records.size());
+void SimulationEngine::push_event(const Event& event) {
+  events_.push_back(event);
+  std::push_heap(events_.begin(), events_.end(), std::greater<Event>{});
+}
 
+void SimulationEngine::pop_event() {
+  std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
+  events_.pop_back();
+}
+
+void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
   std::vector<JobId> starts;
   while (!events_.empty()) {
-    const Time t = events_.top().at;
+    const Time t = events_top().at;
     advance_accounting(t);
 
     // Drain every event at this instant; completions sort before arrivals,
     // and chained segment arrivals pushed "now" are picked up here too.
-    while (!events_.empty() && events_.top().at == t) {
-      const Event event = events_.top();
-      events_.pop();
+    while (!events_.empty() && events_top().at == t) {
+      const Event event = events_top();
+      // The hook fires with the arrival still pending: nothing of this (or
+      // any later) job has touched the engine yet, so a fork taken here is
+      // byte-identical to a run over the workload truncated after event.id.
+      if (hook != nullptr && event.kind == EventKind::Arrive) (*hook)(event.id);
+      pop_event();
       switch (event.kind) {
         case EventKind::Complete:
           deliver_completion(event.id, t, /*killed=*/false);
           break;
         case EventKind::Arrive:
+          if (arrival_limit_ != kInvalidJob && event.id > arrival_limit_) break;
           // Snapshot storage may need to grow for chained segments.
           if (config_.record_snapshots &&
               result_.snapshots.size() < result_.records.size())
@@ -246,9 +322,23 @@ SimulationResult SimulationEngine::run() {
     scheduler_->collect_starts(starts);
     for (const JobId id : starts) start_job(id);
 
+    if (run_until != kInvalidJob &&
+        result_.records[static_cast<std::size_t>(run_until)].start != kNoTime)
+      return;
+
     if (const std::optional<Time> wake = scheduler_->next_wakeup(); wake && !waiting_.empty())
       schedule_timer(*wake);
   }
+}
+
+SimulationResult SimulationEngine::run() { return run_with_arrival_hook(nullptr); }
+
+SimulationResult SimulationEngine::run_with_arrival_hook(const ArrivalHook& hook) {
+  if (ran_) throw std::logic_error("SimulationEngine::run called twice");
+  ran_ = true;
+  if (config_.record_snapshots) result_.snapshots.resize(result_.records.size());
+
+  run_loop(hook ? &hook : nullptr, kInvalidJob);
 
   if (!waiting_.empty())
     throw std::logic_error("engine: simulation ended with " + std::to_string(waiting_.size()) +
@@ -257,6 +347,19 @@ SimulationResult SimulationEngine::run() {
     throw std::logic_error("engine: simulation ended with jobs still running");
 
   return std::move(result_);
+}
+
+Time SimulationEngine::run_until_started(JobId target) {
+  if (arrival_limit_ == kInvalidJob)
+    throw std::logic_error("SimulationEngine::run_until_started: not a fork");
+  if (target != arrival_limit_)
+    throw std::logic_error("SimulationEngine::run_until_started: target is not the fork's job");
+  run_loop(nullptr, target);
+  const Time start = result_.records[static_cast<std::size_t>(target)].start;
+  if (start == kNoTime)
+    throw std::logic_error("SimulationEngine::run_until_started: fork drained without starting " +
+                           std::to_string(target));
+  return start;
 }
 
 SimulationResult simulate(const Workload& workload, const EngineConfig& config) {

@@ -9,8 +9,8 @@
 // longer than the limit enters as segment 0, and each following segment is
 // submitted the instant its predecessor completes.
 
+#include <functional>
 #include <memory>
-#include <queue>
 #include <set>
 #include <vector>
 
@@ -74,6 +74,49 @@ class SimulationEngine final : public SchedulerContext {
   /// Execute to completion and return the full result. Callable once.
   SimulationResult run();
 
+  // --- fork support ----------------------------------------------------------
+  //
+  // In an event-driven simulation the engine state at job i's arrival is
+  // identical whether or not jobs i+1..n exist: arrival events are ordered by
+  // (submit, record id) and the workload is sorted the same way, so when job
+  // i's arrival is the next event to deliver, no later job has touched any
+  // state yet. A fork taken at that instant therefore resumes as if the
+  // workload had been truncated after job i — which turns the O(n^2)
+  // "re-simulate the truncated workload per job" fair-start-time metric into
+  // one full pass plus a cheap per-arrival fork (sim/policy_fst.hpp).
+
+  /// Invoked immediately before an arrival event is delivered; the engine
+  /// state at that instant is byte-identical to a run over the workload
+  /// truncated after the arriving job (see above).
+  using ArrivalHook = std::function<void(JobId)>;
+
+  /// Like run(), but fires `hook` at every arrival. fork_for_arrival() is
+  /// only meaningful from inside the hook. Callable once, instead of run().
+  SimulationResult run_with_arrival_hook(const ArrivalHook& hook);
+
+  /// Clone the engine mid-run into an independent fork that never sees an
+  /// arrival with record id > `target`: machine state, event heap, fairshare
+  /// tracker, waiting/running sets and the scheduler (via Scheduler::clone())
+  /// are all copied; the per-record results are trimmed to 0..target. Forks
+  /// share only the immutable workload with their parent, so many forks can
+  /// be drained concurrently. Only valid from inside an arrival hook, at the
+  /// hook invocation for `target`; requires no maximum-runtime limit (record
+  /// ids must equal workload indices) and a clone()-capable scheduler.
+  std::unique_ptr<SimulationEngine> fork_for_arrival(JobId target) const;
+
+  /// Drain a fork until `target` starts and return its start time — the
+  /// "no later arrivals under the actual policy" fair start time of
+  /// `target`. Throws std::logic_error if the fork ends without starting it.
+  Time run_until_started(JobId target);
+
+  /// Mid-run observer: the start time recorded for `id` so far (kNoTime if
+  /// it has not started yet). Lets the FST driver resolve forks whose target
+  /// provably started before the fork's universe diverged — i.e. before the
+  /// next arrival was delivered — without draining them.
+  Time recorded_start(JobId id) const {
+    return result_.records.at(static_cast<std::size_t>(id)).start;
+  }
+
   // --- SchedulerContext ------------------------------------------------------
   Time now() const override { return now_; }
   NodeCount total_nodes() const override { return system_size_; }
@@ -96,6 +139,10 @@ class SimulationEngine final : public SchedulerContext {
     }
   };
 
+  /// Fork copy (fork_for_arrival): clone `other` mid-run, dropping arrival
+  /// events past `target` and trimming per-record storage to 0..target.
+  SimulationEngine(const SimulationEngine& other, JobId target);
+
   struct RunningState {
     JobId id;
     Time actual_end;  ///< when the job completes if never killed
@@ -114,6 +161,17 @@ class SimulationEngine final : public SchedulerContext {
   /// their own keys.
   void remove_waiting(JobId id);
 
+  /// The shared event loop. `hook` (may be null) fires before each arrival;
+  /// when `run_until` is a valid record id the loop returns as soon as that
+  /// record has started (fork draining) instead of draining the heap.
+  void run_loop(const ArrivalHook* hook, JobId run_until);
+
+  // Event heap primitives (min-heap over a plain vector, so forks can filter
+  // the pending events in one pass instead of copying then re-popping).
+  const Event& events_top() const { return events_.front(); }
+  void push_event(const Event& event);
+  void pop_event();
+
   const Workload& workload_;
   EngineConfig config_;
   RuntimeLimiter limiter_;
@@ -125,8 +183,11 @@ class SimulationEngine final : public SchedulerContext {
   Time now_ = 0;
   bool ran_ = false;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<Event> events_;  ///< min-heap (std::push_heap/pop_heap, greater)
   std::set<Time> pending_timers_;
+  /// Forks only: arrival events with a record id above this are discarded
+  /// (kInvalidJob = deliver everything, the normal mode).
+  JobId arrival_limit_ = kInvalidJob;
 
   SimulationResult result_;
   std::vector<RunningState> running_state_;   // parallel to running_view_

@@ -2,9 +2,17 @@
 // The earlier Sabin/Sadayappan FST variant discussed in paper section 4: a
 // job's fair start time is its start in a re-run of the *actual scheduling
 // policy* on a universe where no later jobs ever arrive. Directly measures
-// whether later arrivals hurt the job, at the cost of one full simulation
-// per job — O(n^2) in trace length, so intended for small traces and tests
-// (the paper's hybrid metric exists precisely to avoid this cost).
+// whether later arrivals hurt the job.
+//
+// Computed with the forkable engine: ONE full simulation, forked at every
+// arrival (engine state at job i's arrival is identical whether or not jobs
+// i+1..n exist — see SimulationEngine::fork_for_arrival), each fork drained
+// with no further arrivals until its job starts. Cost is one pass plus the
+// fork tails instead of the seed's n truncated re-simulations (O(n^2)
+// simulated events); bench/perf_fst.cpp measures the pair
+// (BM_PolicyFstForked vs BM_RefPolicyFstNaive) and the win grows with trace
+// length. The naive re-simulation is preserved below as the behavioral
+// oracle — tests pin the two byte-identical for every policy.
 
 #include <vector>
 
@@ -13,15 +21,26 @@
 namespace psched::sim {
 
 struct PolicyFstOptions {
+  /// Drain forks concurrently on the global pool (results are byte-identical
+  /// to a serial drain: each fork is independent and writes one integer to
+  /// its own result slot).
   bool parallel = true;
 };
 
 /// fair_start[i] = start of workload.jobs[i] when the simulation is re-run
 /// with every job submitted after jobs[i] removed (same-submit ties with a
 /// lower id are kept). Requires config.policy.max_runtime == kNoTime, since
-/// segment chaining has no well-defined per-original start otherwise.
+/// segment chaining has no well-defined per-original start.
 std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
                                                const EngineConfig& config,
                                                const PolicyFstOptions& options = {});
+
+/// The seed implementation, preserved verbatim as the behavioral oracle: one
+/// truncated-workload re-simulation per job (O(i) workload copy + O(n^2)
+/// simulated events overall). Reference for tests and BM_RefPolicyFstNaive;
+/// use policy_no_later_arrivals_fst everywhere else.
+std::vector<Time> policy_no_later_arrivals_fst_naive(const Workload& workload,
+                                                     const EngineConfig& config,
+                                                     const PolicyFstOptions& options = {});
 
 }  // namespace psched::sim

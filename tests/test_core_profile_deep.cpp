@@ -202,6 +202,82 @@ Workload burst_workload(std::size_t jobs) {
   return w;
 }
 
+TEST(ProfileDeep, CopyMidDirtyIsIndependentAndMatchesLinear) {
+  // Pins the copy semantics the forkable engine depends on (the conservative
+  // clone() copies its persistent plan profile wholesale): a Profile copied
+  // MID-DIRTY — warmed bucket aggregates from earlier queries plus a pending
+  // gap-index dirty range from un-probed mutations — must behave, on both
+  // sides of the copy, exactly like a fresh linear-scan profile replaying
+  // the same operation history. Divergent mutations after the copy must not
+  // leak between the copies in either direction.
+  Profile::ThresholdGuard guard(Profile::kForceIndex);
+  util::Rng rng(20260730);
+
+  struct Op {
+    Time from, to;
+    NodeCount nodes;
+  };
+  const auto random_op = [&rng] {
+    Op op;
+    op.from = rng.uniform_int(0, 900'000);
+    op.to = op.from + rng.uniform_int(60, 50'000);
+    op.nodes = static_cast<NodeCount>(rng.uniform_int(1, 48));
+    return op;
+  };
+  const auto apply = [](Profile& profile, const std::vector<Op>& ops) {
+    for (const Op& op : ops)
+      if (profile.fits_at(op.from, op.to - op.from, op.nodes))
+        profile.add_usage(op.from, op.to, op.nodes);
+  };
+  // Deterministic query probe: earliest_fit sweep at several widths, plus the
+  // final breakpoint shape. Byte-comparable across profiles.
+  const auto probe = [](const Profile& profile) {
+    std::string out;
+    for (Time t = 0; t < 1'000'000; t += 43'067)
+      for (const NodeCount w : {NodeCount{3}, NodeCount{60}, NodeCount{250}})
+        out += std::to_string(profile.earliest_fit(t, 7200, w)) + ",";
+    return out + profile.debug_string();
+  };
+
+  // Base history: deep pack (warms the index via fits_at probes), then a
+  // mutation burst with NO query in between, leaving a pending dirty range.
+  std::vector<Op> base;
+  for (int i = 0; i < 3000; ++i) base.push_back(random_op());
+  std::vector<Op> dirty_tail;
+  for (int i = 0; i < 40; ++i) dirty_tail.push_back(random_op());
+
+  Profile original(256, 0);
+  apply(original, base);
+  original.earliest_fit(0, 3600, 200);  // warm bucket aggregates
+  apply(original, dirty_tail);          // ...then dirty them, un-probed
+
+  Profile copy = original;  // copy taken mid-dirty
+
+  // Divergent histories after the copy.
+  std::vector<Op> tail_a, tail_b;
+  for (int i = 0; i < 200; ++i) tail_a.push_back(random_op());
+  for (int i = 0; i < 200; ++i) tail_b.push_back(random_op());
+  apply(original, tail_a);
+  apply(copy, tail_b);
+  const std::string probe_original = probe(original);
+  const std::string probe_copy = probe(copy);
+  original.check_invariants();
+  copy.check_invariants();
+
+  // Linear-path replays of the two full histories.
+  const auto replay_linear = [&](const std::vector<Op>& tail) {
+    Profile::ThresholdGuard off(Profile::kDisableIndex);
+    Profile linear(256, 0);
+    apply(linear, base);
+    linear.earliest_fit(0, 3600, 200);
+    apply(linear, dirty_tail);
+    apply(linear, tail);
+    return probe(linear);
+  };
+  EXPECT_EQ(probe_original, replay_linear(tail_a));
+  EXPECT_EQ(probe_copy, replay_linear(tail_b));
+}
+
 TEST(ProfileDeep, HeavyReplanSimulationIsIndexInvariant) {
   // End-to-end: conservative (static + dynamic) and CPlant runs over a deep
   // burst queue must produce identical schedules with the index forced on

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the concurrency-sensitive tests: the thread pool,
-# the parallel ExperimentRunner sweep (single-flight cache), and the parallel
-# FST metric loops. Sibling of tools/run_benches.sh — run it whenever the
-# threading layers change; any data race fails the suite loudly.
+# the parallel ExperimentRunner sweep (single-flight cache), the parallel FST
+# metric loops, and the forked-engine policy FST (PolicyFstFork.* drains
+# engine forks concurrently on the pool). Sibling of tools/run_benches.sh —
+# run it whenever the threading layers change; any data race fails the suite
+# loudly.
 #
 # Env knobs:
 #   PSCHED_TSAN_BUILD_DIR  build directory (default build-tsan)
@@ -12,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${PSCHED_TSAN_BUILD_DIR:-build-tsan}"
-FILTER='ThreadPool.*:GlobalPool.*:ExperimentRunner.*:PolicyFst.*:HybridFst.*'
+FILTER='ThreadPool.*:GlobalPool.*:ExperimentRunner.*:PolicyFst.*:PolicyFstFork.*:HybridFst.*'
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DPSCHED_SANITIZE=thread \
   -DPSCHED_BUILD_BENCH=OFF >/dev/null

@@ -7,9 +7,14 @@ Usage: summarize_benches.py OUT.json IN1.json [IN2.json ...]
 """
 
 import json
+import re
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Reference -> optimized name prefixes for pairs that don't follow the plain
+# BM_Foo / BM_RefFoo convention (argument suffixes like "/5000" are kept).
+_PAIR_OVERRIDES = {"BM_RefPolicyFstNaive": "BM_PolicyFstForked"}
 
 
 def load_cases(path):
@@ -44,7 +49,18 @@ def main():
     for name, entry in cases.items():
         if not name.startswith("BM_Ref"):
             continue
-        optimized = "BM_" + name[len("BM_Ref"):]
+        # Run-modifier suffixes (e.g. "/iterations:1" on single-shot deep
+        # cases) describe how the reference was run, not which case it is —
+        # ignore them when hunting for the optimized twin.
+        base = re.sub(r"/iterations:\d+", "", name)
+        optimized = "BM_" + base[len("BM_Ref"):]
+        # Some pairs carry descriptive suffixes instead of the bare BM_Foo /
+        # BM_RefFoo convention (e.g. the policy-FST forked/naive pair, where
+        # "Forked" vs "Naive" names the algorithm, not just the tier).
+        for ref_prefix, opt_prefix in _PAIR_OVERRIDES.items():
+            if base.startswith(ref_prefix):
+                optimized = opt_prefix + base[len(ref_prefix):]
+                break
         if optimized in cases and cases[optimized]["ns_per_op"] > 0:
             speedups[optimized] = round(entry["ns_per_op"] / cases[optimized]["ns_per_op"], 2)
 
