@@ -1,5 +1,6 @@
 #include "core/policy.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -127,6 +128,54 @@ PolicyConfig paper_policy(PaperPolicy policy) {
   }
   c.name = c.display_name();
   return c;
+}
+
+std::optional<PolicyConfig> policy_from_name(const std::string& name) {
+  for (const PolicyConfig& policy : all_paper_policies())
+    if (policy.display_name() == name) return policy;
+  PolicyConfig c;
+  if (name == "fcfs") {
+    c.kind = PolicyKind::Fcfs;
+    c.priority = PriorityKind::Fcfs;
+    return c;
+  }
+  if (name == "fcfs.fairshare") {
+    c.kind = PolicyKind::Fcfs;
+    return c;
+  }
+  if (name == "easy") {
+    c.kind = PolicyKind::Easy;
+    c.priority = PriorityKind::Fcfs;
+    return c;
+  }
+  if (name == "easy.fairshare") {
+    c.kind = PolicyKind::Easy;
+    return c;
+  }
+  if (name == "noguarantee") {
+    c.kind = PolicyKind::Cplant;
+    c.starvation_delay = kNoTime;
+    return c;
+  }
+  if (name == "cons.fcfs") {
+    c.kind = PolicyKind::Conservative;
+    c.priority = PriorityKind::Fcfs;
+    return c;
+  }
+  if (name.rfind("depth", 0) == 0) {
+    // Strict parse: "depth4junk" and out-of-range values are unknown names,
+    // not depth 4 — spec files rely on hard rejection.
+    int depth = 0;
+    const char* first = name.c_str() + 5;
+    const char* last = name.c_str() + name.size();
+    const auto [end, err] = std::from_chars(first, last, depth);
+    if (err == std::errc() && end == last && depth >= 1) {
+      c.kind = PolicyKind::Depth;
+      c.reservation_depth = depth;
+      return c;
+    }
+  }
+  return std::nullopt;
 }
 
 std::vector<PolicyConfig> minor_change_policies() {

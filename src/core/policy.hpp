@@ -5,6 +5,7 @@
 // matrix (section 5.5).
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,14 @@ enum class PaperPolicy {
 };
 
 PolicyConfig paper_policy(PaperPolicy policy);
+
+/// Resolve a policy by name: any of the nine paper display names
+/// ("cplant24.nomax.all", "consdyn.72max", ...) plus the extra spellings the
+/// CLI accepts — "fcfs", "fcfs.fairshare", "easy", "easy.fairshare",
+/// "noguarantee", "cons.fcfs", and "depthN" (N >= 1). Returns nullopt for an
+/// unknown name. Shared by psched_run and the scenario spec parser so every
+/// surface speaks the same vocabulary.
+std::optional<PolicyConfig> policy_from_name(const std::string& name);
 
 /// Figures 8-13 compare these five ("minor changes" group).
 std::vector<PolicyConfig> minor_change_policies();

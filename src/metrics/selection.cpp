@@ -1,0 +1,56 @@
+#include "metrics/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psched::metrics {
+
+namespace {
+struct NamedMetric {
+  const char* name;
+  double (*get)(const PolicyReport&);
+};
+
+// Fairness first (the paper's headline quantities), then the standard
+// user/system metrics. makespan is integer seconds widened to double so every
+// selected metric aggregates the same way.
+constexpr NamedMetric kCatalog[] = {
+    {"percent_unfair", [](const PolicyReport& r) { return r.fairness.percent_unfair; }},
+    {"percent_unfair_any", [](const PolicyReport& r) { return r.fairness.percent_unfair_any; }},
+    {"percent_unfair_load", [](const PolicyReport& r) { return r.fairness.percent_unfair_load; }},
+    {"avg_miss_all", [](const PolicyReport& r) { return r.fairness.avg_miss_all; }},
+    {"avg_miss_unfair", [](const PolicyReport& r) { return r.fairness.avg_miss_unfair; }},
+    {"max_miss", [](const PolicyReport& r) { return r.fairness.max_miss; }},
+    {"job_count", [](const PolicyReport& r) { return static_cast<double>(r.standard.job_count); }},
+    {"avg_wait", [](const PolicyReport& r) { return r.standard.avg_wait; }},
+    {"avg_turnaround", [](const PolicyReport& r) { return r.standard.avg_turnaround; }},
+    {"avg_bounded_slowdown",
+     [](const PolicyReport& r) { return r.standard.avg_bounded_slowdown; }},
+    {"max_wait", [](const PolicyReport& r) { return r.standard.max_wait; }},
+    {"makespan", [](const PolicyReport& r) { return static_cast<double>(r.standard.makespan); }},
+    {"utilization", [](const PolicyReport& r) { return r.standard.utilization; }},
+    {"loss_of_capacity", [](const PolicyReport& r) { return r.standard.loss_of_capacity; }},
+};
+}  // namespace
+
+const std::vector<std::string>& all_metric_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const NamedMetric& metric : kCatalog) out.emplace_back(metric.name);
+    return out;
+  }();
+  return names;
+}
+
+bool is_metric_name(const std::string& name) {
+  return std::any_of(std::begin(kCatalog), std::end(kCatalog),
+                     [&](const NamedMetric& metric) { return metric.name == name; });
+}
+
+double metric_value(const PolicyReport& report, const std::string& name) {
+  for (const NamedMetric& metric : kCatalog)
+    if (metric.name == name) return metric.get(report);
+  throw std::invalid_argument("metric_value: unknown metric '" + name + "'");
+}
+
+}  // namespace psched::metrics

@@ -1,0 +1,25 @@
+#pragma once
+// Named scalar metrics: the vocabulary scenario specs use to select which
+// quantities a campaign records and aggregates. Every name maps to one scalar
+// of a PolicyReport, so a campaign cell reduces to a (name -> double) row
+// that the CSV/JSON results store and the bootstrap aggregator consume.
+
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+
+namespace psched::metrics {
+
+/// Every selectable metric name, in catalog (presentation) order.
+const std::vector<std::string>& all_metric_names();
+
+/// Is `name` a selectable metric?
+bool is_metric_name(const std::string& name);
+
+/// The value of metric `name` in `report`. Throws std::invalid_argument for
+/// an unknown name (spec validation rejects those earlier, with a line
+/// number).
+double metric_value(const PolicyReport& report, const std::string& name);
+
+}  // namespace psched::metrics

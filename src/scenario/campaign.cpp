@@ -1,0 +1,349 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/fst.hpp"
+#include "metrics/selection.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/transform.hpp"
+
+namespace psched::scenario {
+
+namespace {
+
+/// Reset knobs the cell's policy kind never reads to their defaults, so two
+/// grid cells that would simulate identically share one canonical key. The
+/// simulation is unchanged: make_scheduler forwards these values but the
+/// schedulers only consult them behind the corresponding kind/flag.
+PolicyConfig normalize_irrelevant_knobs(PolicyConfig config) {
+  if (config.kind != PolicyKind::Cplant) {
+    config.starvation_delay = hours(24);
+    config.bar_heavy_users = false;
+    config.heavy_user_factor = 4.0;
+  } else {
+    if (config.starvation_delay == kNoTime) config.bar_heavy_users = false;
+    if (!config.bar_heavy_users) config.heavy_user_factor = 4.0;
+  }
+  if (config.kind != PolicyKind::Depth) config.reservation_depth = 4;
+  return config;
+}
+
+std::string cell_key(const CampaignCell& cell, sim::WclEnforcement wcl) {
+  std::ostringstream key;
+  key << "seed=" << cell.seed << "|decay=" << std::hexfloat << cell.decay << std::defaultfloat
+      << "|wcl=" << static_cast<int>(wcl) << '|' << cell.policy.canonical_key();
+  return key.str();
+}
+
+/// Round-trip double formatting for the results store: the shortest decimal
+/// representation that parses back to exactly `value` (0.9 stays "0.9", not
+/// "0.90000000000000002"), so diffs of two result stores stay readable.
+std::string fmt_double(double value) {
+  for (int precision = 1; precision < std::numeric_limits<double>::max_digits10; ++precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << value;
+    if (std::stod(out.str()) == value) return out.str();
+  }
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* wcl_name(sim::WclEnforcement wcl) {
+  switch (wcl) {
+    case sim::WclEnforcement::Never: return "never";
+    case sim::WclEnforcement::KillIfNeeded: return "kill_if_needed";
+    case sim::WclEnforcement::Always: return "always";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CampaignPlan expand_campaign(const ScenarioSpec& spec) {
+  CampaignPlan plan;
+  plan.seeds = spec.effective_seeds();
+
+  // Axis helpers: iterate the override list, or a single "leave it" slot.
+  const auto axis_size = [](std::size_t n) { return std::max<std::size_t>(1, n); };
+  const PolicyGrid& grid = spec.grid;
+
+  std::set<std::string> seen_keys;
+  for (const std::uint64_t seed : plan.seeds) {
+    for (const std::string& name : spec.policy_names) {
+      const PolicyConfig base = *policy_from_name(name);
+      for (std::size_t a = 0; a < axis_size(grid.starvation_delay.size()); ++a)
+        for (std::size_t b = 0; b < axis_size(grid.bar_heavy_users.size()); ++b)
+          for (std::size_t c = 0; c < axis_size(grid.heavy_user_factor.size()); ++c)
+            for (std::size_t d = 0; d < axis_size(grid.max_runtime.size()); ++d)
+              for (std::size_t e = 0; e < axis_size(grid.reservation_depth.size()); ++e)
+                for (std::size_t f = 0; f < axis_size(grid.decay.size()); ++f) {
+                  ++plan.expanded_cells;
+                  CampaignCell cell;
+                  cell.seed = seed;
+                  cell.decay = grid.decay.empty() ? spec.decay : grid.decay[f];
+                  cell.policy = base;
+                  if (!grid.starvation_delay.empty())
+                    cell.policy.starvation_delay = grid.starvation_delay[a];
+                  if (!grid.bar_heavy_users.empty())
+                    cell.policy.bar_heavy_users = grid.bar_heavy_users[b];
+                  if (!grid.heavy_user_factor.empty())
+                    cell.policy.heavy_user_factor = grid.heavy_user_factor[c];
+                  if (!grid.max_runtime.empty()) cell.policy.max_runtime = grid.max_runtime[d];
+                  if (!grid.reservation_depth.empty())
+                    cell.policy.reservation_depth = grid.reservation_depth[e];
+                  // Preset names (the paper policies carry one) would go
+                  // stale under overrides and would defeat canonical-key
+                  // dedup; always re-derive from the knobs.
+                  cell.policy.name.clear();
+                  cell.policy = normalize_irrelevant_knobs(cell.policy);
+                  cell.key = cell_key(cell, spec.wcl_enforcement);
+                  if (!seen_keys.insert(cell.key).second) continue;
+                  cell.index = plan.cells.size();
+                  plan.cells.push_back(std::move(cell));
+                }
+    }
+  }
+  return plan;
+}
+
+Workload build_workload(const WorkloadSpec& spec, std::uint64_t seed,
+                        workload::SwfReadResult* swf_info) {
+  Workload trace;
+  if (spec.source == WorkloadSpec::Source::Swf) {
+    workload::SwfReadOptions options;
+    if (spec.swf_accept_all_statuses) options.accepted_statuses.clear();
+    workload::SwfReadResult read =
+        workload::read_swf_file(spec.swf_file, spec.system_size, options);
+    trace = std::move(read.workload);
+    if (swf_info != nullptr) {
+      *swf_info = std::move(read);
+      // The jobs moved into `trace`; keep the info struct lean but make
+      // describe_sizing() (which reads workload.system_size) still correct.
+      swf_info->workload.jobs.clear();
+      swf_info->workload.system_size = trace.system_size;
+    }
+  } else {
+    workload::GeneratorConfig generator;
+    generator.seed = seed;
+    generator.count_scale = spec.scale;
+    if (spec.system_size > 0) generator.system_size = spec.system_size;
+    // Same span scaling as psched_run / the figure binaries, so a spec with
+    // matching (seed, scale) reproduces their trace byte-identically.
+    if (spec.scale < 1.0)
+      generator.span = std::max<Time>(
+          weeks(4),
+          static_cast<Time>(static_cast<double>(workload::kRossTraceSpan) * spec.scale));
+    trace = workload::generate_ross_workload(generator);
+  }
+  if (spec.head > 0) trace = workload::head(trace, spec.head);
+  if (spec.rescale_load != 1.0) trace = workload::rescale_load(trace, spec.rescale_load);
+  if (spec.estimate_factor > 0.0)
+    trace = workload::with_estimate_factor(trace, spec.estimate_factor);
+  return trace;
+}
+
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options) {
+  CampaignResult result;
+  result.spec = spec;
+  result.plan = expand_campaign(spec);
+
+  // One workload per replicate seed, built up front (groups with different
+  // engine knobs share it).
+  std::vector<std::pair<std::uint64_t, Workload>> workloads;
+  for (const std::uint64_t seed : result.plan.seeds) {
+    workload::SwfReadResult swf_info;
+    const bool want_swf = spec.workload.source == WorkloadSpec::Source::Swf && !result.swf_info;
+    workloads.emplace_back(seed,
+                           build_workload(spec.workload, seed, want_swf ? &swf_info : nullptr));
+    if (want_swf) result.swf_info = std::move(swf_info);
+    CampaignResult::TraceInfo info;
+    info.seed = seed;
+    info.jobs = workloads.back().second.jobs.size();
+    info.system_size = workloads.back().second.system_size;
+    result.traces.push_back(info);
+  }
+  const auto workload_for = [&](std::uint64_t seed) -> const Workload& {
+    for (const auto& [s, w] : workloads)
+      if (s == seed) return w;
+    throw std::logic_error("run_campaign: seed without workload");
+  };
+
+  // Shard: cells sharing (seed, engine knobs) sweep through one cached
+  // ExperimentRunner; groups run in first-appearance order, so every output
+  // is deterministic regardless of options.jobs.
+  struct Group {
+    std::uint64_t seed;
+    double decay;
+    std::vector<std::size_t> cell_positions;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < result.plan.cells.size(); ++i) {
+    const CampaignCell& cell = result.plan.cells[i];
+    const auto group = std::find_if(groups.begin(), groups.end(), [&](const Group& g) {
+      return g.seed == cell.seed && g.decay == cell.decay;
+    });
+    if (group == groups.end())
+      groups.push_back({cell.seed, cell.decay, {i}});
+    else
+      group->cell_positions.push_back(i);
+  }
+
+  result.cells.resize(result.plan.cells.size());
+  result.reports.resize(result.plan.cells.size());
+  for (const Group& group : groups) {
+    sim::EngineConfig base;
+    base.fairshare_decay = group.decay;
+    base.wcl_enforcement = spec.wcl_enforcement;
+    metrics::FstOptions fst;
+    fst.tolerance = spec.tolerance;
+    sim::ExperimentRunner runner(workload_for(group.seed), base, fst);
+
+    std::vector<PolicyConfig> policies;
+    policies.reserve(group.cell_positions.size());
+    for (const std::size_t position : group.cell_positions)
+      policies.push_back(result.plan.cells[position].policy);
+    const std::vector<const sim::ExperimentResult*> runs = runner.run_all(policies, options.jobs);
+
+    for (std::size_t i = 0; i < group.cell_positions.size(); ++i) {
+      const std::size_t position = group.cell_positions[i];
+      metrics::PolicyReport report = runs[i]->report;
+      CellResult& cell = result.cells[position];
+      cell.cell = result.plan.cells[position];
+      cell.metrics.reserve(spec.metrics.size());
+      for (const std::string& metric : spec.metrics)
+        cell.metrics.push_back(metrics::metric_value(report, metric));
+      result.reports[position] = std::move(report);
+    }
+  }
+
+  // Aggregate replicate seeds: cells identical up to the seed share one
+  // aggregate, values in seed-list order. Bootstrap rng streams are derived
+  // per (aggregate, metric) from the spec seed, so the CI is deterministic
+  // and independent of sweep parallelism.
+  struct AggSlot {
+    std::string key;
+    std::vector<std::size_t> cell_positions;
+  };
+  std::vector<AggSlot> slots;
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CampaignCell& cell = result.cells[i].cell;
+    std::ostringstream key;
+    key << "decay=" << std::hexfloat << cell.decay << std::defaultfloat << '|'
+        << cell.policy.canonical_key();
+    const std::string agg_key = key.str();
+    const auto slot = std::find_if(slots.begin(), slots.end(),
+                                   [&](const AggSlot& s) { return s.key == agg_key; });
+    if (slot == slots.end())
+      slots.push_back({agg_key, {i}});
+    else
+      slot->cell_positions.push_back(i);
+  }
+  const util::Rng bootstrap_base(spec.bootstrap_seed);
+  for (std::size_t a = 0; a < slots.size(); ++a) {
+    const AggSlot& slot = slots[a];
+    AggregateResult aggregate;
+    const CampaignCell& first = result.cells[slot.cell_positions.front()].cell;
+    aggregate.policy = first.policy.display_name();
+    aggregate.decay = first.decay;
+    aggregate.replicates = slot.cell_positions.size();
+    const util::Rng agg_rng = bootstrap_base.fork(a);
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      std::vector<double> values;
+      values.reserve(slot.cell_positions.size());
+      for (const std::size_t position : slot.cell_positions)
+        values.push_back(result.cells[position].metrics[m]);
+      util::Rng metric_rng = agg_rng.fork(m);
+      aggregate.metrics.push_back(util::bootstrap_mean_ci(
+          values, spec.bootstrap_resamples, spec.bootstrap_confidence, metric_rng.next_u64()));
+    }
+    result.aggregates.push_back(std::move(aggregate));
+  }
+  return result;
+}
+
+void write_cells_csv(const CampaignResult& result, std::ostream& out) {
+  out << "index,seed,decay,wcl_enforcement,policy";
+  for (const std::string& metric : result.spec.metrics) out << ',' << metric;
+  out << '\n';
+  for (const CellResult& cell : result.cells) {
+    out << cell.cell.index << ',' << cell.cell.seed << ',' << fmt_double(cell.cell.decay) << ','
+        << wcl_name(result.spec.wcl_enforcement) << ',' << cell.cell.policy.display_name();
+    for (const double value : cell.metrics) out << ',' << fmt_double(value);
+    out << '\n';
+  }
+}
+
+void write_summary_json(const CampaignResult& result, std::ostream& out) {
+  const ScenarioSpec& spec = result.spec;
+  out << "{\n";
+  out << "  \"campaign\": \"" << json_escape(spec.name) << "\",\n";
+  if (spec.workload.source == WorkloadSpec::Source::Swf)
+    out << "  \"source\": \"swf:" << json_escape(spec.workload.swf_file) << "\",\n";
+  else
+    out << "  \"source\": \"ross\",\n  \"scale\": " << fmt_double(spec.workload.scale) << ",\n";
+  out << "  \"expanded_cells\": " << result.plan.expanded_cells << ",\n";
+  out << "  \"unique_cells\": " << result.plan.cells.size() << ",\n";
+  out << "  \"seeds\": [";
+  for (std::size_t i = 0; i < result.plan.seeds.size(); ++i)
+    out << (i != 0 ? ", " : "") << result.plan.seeds[i];
+  out << "],\n";
+  out << "  \"wcl_enforcement\": \"" << wcl_name(spec.wcl_enforcement) << "\",\n";
+  out << "  \"tolerance_seconds\": " << spec.tolerance << ",\n";
+  out << "  \"bootstrap\": {\"resamples\": " << spec.bootstrap_resamples
+      << ", \"confidence\": " << fmt_double(spec.bootstrap_confidence)
+      << ", \"seed\": " << spec.bootstrap_seed << "},\n";
+  out << "  \"metrics\": [";
+  for (std::size_t i = 0; i < spec.metrics.size(); ++i)
+    out << (i != 0 ? ", " : "") << '"' << json_escape(spec.metrics[i]) << '"';
+  out << "],\n";
+  out << "  \"policies\": [\n";
+  for (std::size_t a = 0; a < result.aggregates.size(); ++a) {
+    const AggregateResult& aggregate = result.aggregates[a];
+    out << "    {\"policy\": \"" << json_escape(aggregate.policy)
+        << "\", \"decay\": " << fmt_double(aggregate.decay)
+        << ", \"replicates\": " << aggregate.replicates << ", \"metrics\": {";
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      const util::BootstrapCi& ci = aggregate.metrics[m];
+      out << (m != 0 ? ", " : "") << '"' << json_escape(spec.metrics[m]) << "\": {\"mean\": "
+          << fmt_double(ci.mean) << ", \"ci_lo\": " << fmt_double(ci.lo)
+          << ", \"ci_hi\": " << fmt_double(ci.hi) << '}';
+    }
+    out << "}}" << (a + 1 != result.aggregates.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace psched::scenario

@@ -1,0 +1,105 @@
+#pragma once
+// Campaign runner: expand a ScenarioSpec into PolicyConfig x workload x seed
+// cells, dedupe them, shard the simulations through the thread-safe
+// ExperimentRunner on the global pool, aggregate replicate seeds into
+// mean + bootstrap confidence intervals, and write a structured results
+// store (CSV rows per cell, JSON summary per aggregate) suitable for
+// tools/summarize_benches.py-style diffing.
+//
+// Determinism contract: cell order, simulation results, aggregates and both
+// writers are byte-identical for every parallelism level — the sweep reuses
+// ExperimentRunner::run_all's guarantee and everything after it is serial.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "scenario/spec.hpp"
+#include "util/stats.hpp"
+#include "workload/swf.hpp"
+
+namespace psched::scenario {
+
+/// One simulation of the expanded grid. `index` is the position in
+/// deterministic expansion order (seed-major, then policy name, then grid
+/// axes); duplicates collapsed by `key` never make it into the plan.
+struct CampaignCell {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;       ///< workload seed (Ross) / the single SWF slot
+  double decay = 0.9;           ///< engine fairshare decay for this cell
+  PolicyConfig policy;
+  std::string key;              ///< seed|decay|wcl|PolicyConfig::canonical_key()
+};
+
+struct CampaignPlan {
+  std::vector<CampaignCell> cells;   ///< deduped, expansion order
+  std::size_t expanded_cells = 0;    ///< before canonical-key dedup
+  std::vector<std::uint64_t> seeds;  ///< effective seed list
+};
+
+/// Expand the grid: for every seed, every named policy, every combination of
+/// grid-axis overrides (axes in declaration order, later axes fastest).
+/// Overridden configs drop their preset display name (so names re-derive)
+/// and knobs irrelevant to a cell's policy kind are normalized to defaults
+/// before keying — a starvation-delay axis crossed over `cons.nomax` yields
+/// ONE cell, not one per delay value.
+CampaignPlan expand_campaign(const ScenarioSpec& spec);
+
+/// All selected metrics of one simulated cell, in spec.metrics order.
+struct CellResult {
+  CampaignCell cell;
+  std::vector<double> metrics;
+};
+
+/// One policy cell aggregated across the replicate seeds.
+struct AggregateResult {
+  std::string policy;   ///< display name
+  double decay = 0.9;
+  std::size_t replicates = 0;
+  std::vector<util::BootstrapCi> metrics;  ///< spec.metrics order
+};
+
+struct CampaignResult {
+  ScenarioSpec spec;
+  CampaignPlan plan;
+  std::vector<CellResult> cells;          ///< expansion order
+  std::vector<AggregateResult> aggregates;
+  /// Full per-cell reports (for figure-style tables); parallel to cells.
+  std::vector<metrics::PolicyReport> reports;
+  /// Per-seed trace shape, for banners: jobs and machine size.
+  struct TraceInfo {
+    std::uint64_t seed = 0;
+    std::size_t jobs = 0;
+    NodeCount system_size = 0;
+  };
+  std::vector<TraceInfo> traces;
+  /// SWF source only: what ingestion dropped and how the machine was sized.
+  std::optional<workload::SwfReadResult> swf_info;
+};
+
+struct CampaignOptions {
+  /// Concurrent simulations per policy sweep (ExperimentRunner::run_all
+  /// jobs): 0 = global pool size, 1 = serial. Results identical either way.
+  std::size_t jobs = 0;
+};
+
+/// Build the workload a spec describes for one replicate seed (the Ross
+/// generator path mirrors psched_run's span scaling so spec runs reproduce
+/// CLI/figure-binary traces exactly). Exposed for tests and tooling.
+Workload build_workload(const WorkloadSpec& spec, std::uint64_t seed,
+                        workload::SwfReadResult* swf_info = nullptr);
+
+/// Run the whole campaign. Throws on unresolvable specs or simulation
+/// errors; partial results are not returned.
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options = {});
+
+/// Results store: one CSV row per cell
+/// ("index,seed,decay,wcl_enforcement,policy,<metric>..") and a JSON summary
+/// of the aggregates. Both deterministic in the result.
+void write_cells_csv(const CampaignResult& result, std::ostream& out);
+void write_summary_json(const CampaignResult& result, std::ostream& out);
+
+}  // namespace psched::scenario

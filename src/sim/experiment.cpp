@@ -6,8 +6,9 @@
 
 namespace psched::sim {
 
-ExperimentRunner::ExperimentRunner(Workload workload, EngineConfig base)
-    : workload_(std::move(workload)), base_(std::move(base)) {
+ExperimentRunner::ExperimentRunner(Workload workload, EngineConfig base,
+                                   metrics::FstOptions fst_options)
+    : workload_(std::move(workload)), base_(std::move(base)), fst_options_(fst_options) {
   workload_.validate();
 }
 
@@ -29,7 +30,7 @@ const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy) {
       EngineConfig config = base_;
       config.policy = policy;
       result->simulation = simulate(workload_, config);
-      result->report = metrics::evaluate(result->simulation);
+      result->report = metrics::evaluate(result->simulation, fst_options_);
       entry.result = std::move(result);
     } catch (...) {
       entry.error = std::current_exception();

@@ -28,9 +28,13 @@ struct ExperimentResult {
 class ExperimentRunner {
  public:
   /// `base` supplies everything except the policy (fairshare decay, WCL
-  /// enforcement, snapshot recording). The workload is copied once and is
-  /// read-only afterwards, so concurrent simulations can share it.
-  ExperimentRunner(Workload workload, EngineConfig base = {});
+  /// enforcement, snapshot recording); `fst_options` is the metric
+  /// configuration every cached report is evaluated with (tolerance,
+  /// knowledge model) — per-runner, so cached reports never mix tolerances.
+  /// The workload is copied once and is read-only afterwards, so concurrent
+  /// simulations can share it.
+  ExperimentRunner(Workload workload, EngineConfig base = {},
+                   metrics::FstOptions fst_options = {});
 
   /// Simulate `policy` (or return the cached result). Thread-safe and
   /// single-flight: duplicate configs simulate exactly once regardless of how
@@ -63,6 +67,7 @@ class ExperimentRunner {
 
   Workload workload_;
   EngineConfig base_;
+  metrics::FstOptions fst_options_;
   std::mutex mutex_;  ///< guards cache_ lookup/insert only, never held while simulating
   std::map<std::string, std::unique_ptr<CacheEntry>> cache_;
 };

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace psched::util {
 
 double mean(std::span<const double> values) {
@@ -122,6 +124,36 @@ double jain_fairness_index(std::span<const double> values) {
   }
   if (sumsq == 0.0) return 1.0;  // all zero: trivially equal
   return (sum * sum) / (static_cast<double>(values.size()) * sumsq);
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> values, std::size_t resamples,
+                              double confidence, std::uint64_t seed) {
+  if (resamples == 0) throw std::invalid_argument("bootstrap_mean_ci: resamples == 0");
+  if (!(confidence > 0.0 && confidence < 1.0))
+    throw std::invalid_argument("bootstrap_mean_ci: confidence outside (0, 1)");
+  BootstrapCi ci;
+  ci.count = values.size();
+  ci.confidence = confidence;
+  ci.resamples = resamples;
+  if (values.empty()) return ci;
+  ci.mean = mean(values);
+  if (values.size() == 1) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+  Rng rng(seed);
+  const auto n = static_cast<std::int64_t>(values.size());
+  std::vector<double> means(resamples, 0.0);
+  for (double& m : means) {
+    double acc = 0.0;
+    for (std::int64_t draw = 0; draw < n; ++draw)
+      acc += values[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    m = acc / static_cast<double>(n);
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = percentile(means, alpha);
+  ci.hi = percentile(means, 1.0 - alpha);
+  return ci;
 }
 
 }  // namespace psched::util

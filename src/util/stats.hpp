@@ -3,6 +3,7 @@
 // (Figures 4-7) and the experiment reports.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -58,5 +59,26 @@ double jain_fairness_index(std::span<const double> values);
 
 /// Ranks with ties averaged (1-based), helper for spearman and tests.
 std::vector<double> average_ranks(std::span<const double> values);
+
+/// Percentile-bootstrap confidence interval for the mean of a sample — the
+/// campaign aggregator's building block for summarizing replicate seeds.
+struct BootstrapCi {
+  std::size_t count = 0;    ///< sample size (0 = empty input, all else zeroed)
+  double mean = 0.0;        ///< sample mean (not the resample mean-of-means)
+  double lo = 0.0;          ///< lower percentile bound of the resampled means
+  double hi = 0.0;          ///< upper percentile bound
+  double confidence = 0.0;  ///< echo of the requested level
+  std::size_t resamples = 0;
+};
+
+/// Resample `values` with replacement `resamples` times, take the mean of
+/// each resample, and return the (1-confidence)/2 .. 1-(1-confidence)/2
+/// percentile band of those means. Deterministic given `seed` (all draws flow
+/// through util::Rng). A single observation yields lo == hi == mean — one
+/// replicate carries no spread information, same convention as stddev().
+/// Throws std::invalid_argument for resamples == 0 or confidence outside
+/// (0, 1).
+BootstrapCi bootstrap_mean_ci(std::span<const double> values, std::size_t resamples,
+                              double confidence, std::uint64_t seed);
 
 }  // namespace psched::util

@@ -107,6 +107,9 @@ SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOpt
 
   NodeCount widest = 0;
   for (const Job& job : result.workload.jobs) widest = std::max(widest, job.nodes);
+  result.header_max_nodes = header_nodes;
+  result.header_max_procs = header_procs;
+  result.widest_job = widest;
   // Job widths come from the AllocatedProcs/RequestedProcs fields, i.e. they
   // are PROCESSOR counts, so the machine must be sized in the same unit: on
   // SMP traces (MaxProcs >> MaxNodes) sizing by MaxNodes would reject — or
@@ -114,12 +117,47 @@ SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOpt
   // job is additionally a floor, so an understated or truncated header can
   // never make validate() reject work the traced machine actually ran.
   const NodeCount header_size = std::max(header_nodes, header_procs);
-  result.workload.system_size =
-      system_size > 0 ? system_size : std::max(header_size, widest);
-  if (result.workload.system_size <= 0) result.workload.system_size = 1;
+  if (system_size > 0) {
+    result.workload.system_size = system_size;
+    result.sizing = SwfSizing::Explicit;
+  } else if (header_size >= widest && header_size > 0) {
+    result.workload.system_size = header_size;
+    result.sizing =
+        header_procs > header_nodes ? SwfSizing::HeaderProcs : SwfSizing::HeaderNodes;
+  } else if (widest > 0) {
+    result.workload.system_size = widest;
+    result.sizing = SwfSizing::WidestJob;
+  } else {
+    result.workload.system_size = 1;
+    result.sizing = SwfSizing::Fallback;
+  }
   result.workload.normalize();
   result.workload.validate();
   return result;
+}
+
+std::string SwfReadResult::describe_sizing() const {
+  std::string out = std::to_string(workload.system_size) + " nodes (";
+  switch (sizing) {
+    case SwfSizing::Explicit:
+      out += "explicit --system-size";
+      break;
+    case SwfSizing::HeaderNodes:
+      out += "SWF header MaxNodes";
+      break;
+    case SwfSizing::HeaderProcs:
+      out += "SWF header MaxProcs";
+      break;
+    case SwfSizing::WidestJob:
+      out += "widest job; header absent or understated";
+      break;
+    case SwfSizing::Fallback:
+      out += "empty trace, no header";
+      break;
+  }
+  out += "; MaxNodes " + std::to_string(header_max_nodes) + ", MaxProcs " +
+         std::to_string(header_max_procs) + ", widest job " + std::to_string(widest_job) + ")";
+  return out;
 }
 
 SwfReadResult read_swf_file(const std::string& path, NodeCount system_size,

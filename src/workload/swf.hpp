@@ -36,6 +36,15 @@ struct SwfReadOptions {
   std::vector<long long> accepted_statuses = {1, -1};
 };
 
+/// How workload.system_size was chosen (see read_swf's sizing rules).
+enum class SwfSizing {
+  Explicit,     ///< caller passed system_size > 0
+  HeaderNodes,  ///< SWF header MaxNodes won
+  HeaderProcs,  ///< SWF header MaxProcs won (SMP traces)
+  WidestJob,    ///< header absent/understated; widest ingested job is the floor
+  Fallback,     ///< empty trace, no header: sized 1
+};
+
 struct SwfReadResult {
   Workload workload;
   std::size_t total_records = 0;
@@ -43,6 +52,17 @@ struct SwfReadResult {
   std::size_t skipped_records = 0;
   /// Records dropped by the status filter (accepted_statuses).
   std::size_t filtered_records = 0;
+
+  // Machine-sizing inputs and the decision, so CLIs can show archive-replay
+  // users where the node count came from instead of a bare number.
+  NodeCount header_max_nodes = 0;  ///< SWF header MaxNodes (0 = absent)
+  NodeCount header_max_procs = 0;  ///< SWF header MaxProcs (0 = absent)
+  NodeCount widest_job = 0;        ///< widest ingested job (post filtering)
+  SwfSizing sizing = SwfSizing::Fallback;
+
+  /// "1524 nodes (SWF header MaxProcs; MaxNodes 320, widest job 1024)" style
+  /// one-liner for CLI banners.
+  std::string describe_sizing() const;
 };
 
 /// Parse an SWF stream. `system_size` <= 0 derives the machine size as

@@ -104,5 +104,64 @@ TEST(Stats, JainIndexBounds) {
   EXPECT_THROW(jain_fairness_index(std::vector<double>{-1.0}), std::invalid_argument);
 }
 
+TEST(Bootstrap, DeterministicGivenSeed) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const BootstrapCi a = bootstrap_mean_ci(v, 500, 0.95, 42);
+  const BootstrapCi b = bootstrap_mean_ci(v, 500, 0.95, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  // A different stream gives a (slightly) different band — the seed is live.
+  const BootstrapCi c = bootstrap_mean_ci(v, 500, 0.95, 43);
+  EXPECT_TRUE(c.lo != a.lo || c.hi != a.hi);
+}
+
+TEST(Bootstrap, BandBracketsTheMeanAndStaysInRange) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const BootstrapCi ci = bootstrap_mean_ci(v, 2000, 0.95, 7);
+  EXPECT_EQ(ci.count, v.size());
+  EXPECT_DOUBLE_EQ(ci.mean, mean(v));
+  EXPECT_LE(ci.lo, ci.mean);
+  EXPECT_GE(ci.hi, ci.mean);
+  // Resampled means can never leave the sample's range.
+  EXPECT_GE(ci.lo, 1.0);
+  EXPECT_LE(ci.hi, 9.0);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(Bootstrap, HigherConfidenceWidensTheBand) {
+  const std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0};
+  const BootstrapCi narrow = bootstrap_mean_ci(v, 2000, 0.5, 11);
+  const BootstrapCi wide = bootstrap_mean_ci(v, 2000, 0.99, 11);
+  EXPECT_LT(wide.lo, narrow.lo);
+  EXPECT_GT(wide.hi, narrow.hi);
+}
+
+TEST(Bootstrap, DegenerateInputs) {
+  const BootstrapCi empty = bootstrap_mean_ci(std::vector<double>{}, 100, 0.95, 1);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 0.0);
+  // One replicate carries no spread information: lo == hi == mean.
+  const BootstrapCi single = bootstrap_mean_ci(std::vector<double>{42.0}, 100, 0.95, 1);
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_DOUBLE_EQ(single.mean, 42.0);
+  EXPECT_DOUBLE_EQ(single.lo, 42.0);
+  EXPECT_DOUBLE_EQ(single.hi, 42.0);
+  // Constant sample: every resample mean is the constant.
+  const BootstrapCi constant =
+      bootstrap_mean_ci(std::vector<double>{5.0, 5.0, 5.0}, 100, 0.95, 1);
+  EXPECT_DOUBLE_EQ(constant.lo, 5.0);
+  EXPECT_DOUBLE_EQ(constant.hi, 5.0);
+}
+
+TEST(Bootstrap, RejectsNonsenseParameters) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci(v, 0, 0.95, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 100, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 100, 1.0, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace psched::util

@@ -122,6 +122,13 @@ TEST(Swf, HeaderSizesMachineInProcessorUnits) {
       "1 0 -1 100 4 -1 -1 4 200 -1 1 0 0 -1 -1 -1 -1 -1\n");
   const SwfReadResult result = read_swf(in);
   EXPECT_EQ(result.workload.system_size, 512);
+  // The sizing decision is reported, not just applied (CLIs surface it).
+  EXPECT_EQ(result.sizing, SwfSizing::HeaderProcs);
+  EXPECT_EQ(result.header_max_nodes, 128);
+  EXPECT_EQ(result.header_max_procs, 512);
+  EXPECT_EQ(result.widest_job, 4);
+  EXPECT_EQ(result.describe_sizing(),
+            "512 nodes (SWF header MaxProcs; MaxNodes 128, MaxProcs 512, widest job 4)");
 }
 
 TEST(Swf, JobWiderThanMaxNodesIngestsOnSmpTrace) {
@@ -148,6 +155,8 @@ TEST(Swf, WidestJobLiftsUndersizedHeader) {
   const SwfReadResult result = read_swf(in);
   ASSERT_EQ(result.workload.jobs.size(), 1u);
   EXPECT_EQ(result.workload.system_size, 24);
+  EXPECT_EQ(result.sizing, SwfSizing::WidestJob);
+  EXPECT_EQ(result.widest_job, 24);
 }
 
 TEST(Swf, HeaderFallsBackToMaxProcsWithoutMaxNodes) {
@@ -170,6 +179,7 @@ TEST(Swf, ExplicitSystemSizeWins) {
   std::istringstream in("1 0 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
   const SwfReadResult result = read_swf(in, /*system_size=*/512);
   EXPECT_EQ(result.workload.system_size, 512);
+  EXPECT_EQ(result.sizing, SwfSizing::Explicit);
 }
 
 TEST(Swf, SortsUnorderedRecords) {

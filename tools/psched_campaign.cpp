@@ -1,0 +1,180 @@
+// psched_campaign: run a declarative scenario campaign end to end.
+//
+//   psched_campaign SPEC [options]
+//     --out DIR    write DIR/cells.csv (one row per simulated cell) and
+//                  DIR/summary.json (per-policy mean + bootstrap CI)
+//     --jobs N     concurrent simulations per policy sweep (default: global
+//                  pool size, env PSCHED_THREADS; 1 = serial; every output
+//                  is byte-identical for any N)
+//     --dry-run    parse the spec, print the expanded cell plan, and exit
+//     --csv        print stdout tables as CSV instead of aligned text
+//
+// A single-seed campaign additionally prints the standard fairness and
+// performance tables, so a spec mirroring a figure binary (same workload,
+// policies and seed — see examples/campaigns/fig14_all_policies.spec)
+// reproduces that binary's table bytes exactly.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "scenario/campaign.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace psched;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "psched_campaign: " << message << "\n(run with --help for usage)\n";
+  std::exit(2);
+}
+
+void print_usage() {
+  std::cout <<
+      "psched_campaign — declarative scenario campaigns (spec format: docs/campaign_specs.md)\n"
+      "  psched_campaign SPEC [--out DIR] [--jobs N] [--dry-run] [--csv]\n"
+      "  --out DIR    write DIR/cells.csv and DIR/summary.json\n"
+      "  --jobs N     concurrent simulations per sweep (1 = serial; output identical)\n"
+      "  --dry-run    print the expanded cell plan without simulating\n"
+      "  --csv        CSV tables on stdout\n";
+}
+
+/// "3.1e-02 [2.8e-02, 3.4e-02]"-free: plain fixed numbers, mean first.
+std::string ci_cell(const util::BootstrapCi& ci, std::size_t replicates) {
+  std::string out = util::format_number(ci.mean, 4);
+  if (replicates > 1)
+    out += " [" + util::format_number(ci.lo, 4) + ", " + util::format_number(ci.hi, 4) + "]";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_dir;
+  std::size_t jobs = 0;
+  bool dry_run = false;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) fail("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--jobs") {
+      const int parsed = std::atoi(next());
+      if (parsed < 1) fail("--jobs must be >= 1");
+      jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      fail("unknown option '" + arg + "'");
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      fail("more than one spec file given");
+    }
+  }
+  if (spec_path.empty()) fail("no spec file given");
+
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::parse_spec_file(spec_path);
+  } catch (const std::exception& error) {
+    std::cerr << "psched_campaign: " << error.what() << '\n';
+    return 2;
+  }
+
+  const scenario::CampaignPlan plan = scenario::expand_campaign(spec);
+  std::cout << "# campaign " << spec.name << ": " << plan.expanded_cells << " expanded -> "
+            << plan.cells.size() << " unique cells, " << plan.seeds.size() << " seed"
+            << (plan.seeds.size() == 1 ? "" : "s") << ", " << spec.metrics.size()
+            << " metrics\n";
+  if (dry_run) {
+    util::TextTable table({"cell", "seed", "decay", "policy"});
+    for (const scenario::CampaignCell& cell : plan.cells)
+      table.begin_row()
+          .add_int(static_cast<long long>(cell.index))
+          .add_int(static_cast<long long>(cell.seed))
+          .add(cell.decay, 3)
+          .add(cell.policy.display_name());
+    std::cout << (csv ? table.csv() : table.str());
+    return 0;
+  }
+
+  scenario::CampaignOptions options;
+  options.jobs = jobs;
+  scenario::CampaignResult result;
+  try {
+    result = scenario::run_campaign(spec, options);
+  } catch (const std::exception& error) {
+    std::cerr << "psched_campaign: " << error.what() << '\n';
+    return 1;
+  }
+
+  for (const auto& trace : result.traces) {
+    std::cout << "# seed " << trace.seed << ": " << trace.jobs << " jobs, " << trace.system_size
+              << " nodes\n";
+  }
+  if (result.swf_info) {
+    std::cout << "# swf " << spec.workload.swf_file << ": " << result.swf_info->total_records
+              << " records, skipped " << result.swf_info->skipped_records << " invalid, filtered "
+              << result.swf_info->filtered_records << " non-completed\n"
+              << "# machine: " << result.swf_info->describe_sizing() << '\n';
+  }
+
+  // Figure-binary parity: a single-seed campaign is exactly one policy sweep,
+  // so print the same summary tables the exp_* binaries print.
+  if (plan.seeds.size() == 1) {
+    const util::TextTable fairness = metrics::fairness_summary_table(result.reports);
+    const util::TextTable performance = metrics::performance_summary_table(result.reports);
+    std::cout << "\n== fairness ==\n" << (csv ? fairness.csv() : fairness.str())
+              << "\n== performance ==\n" << (csv ? performance.csv() : performance.str());
+  }
+
+  std::vector<std::string> header = {"policy", "decay", "n"};
+  for (const std::string& metric : spec.metrics) header.push_back(metric);
+  util::TextTable aggregates(header);
+  for (const scenario::AggregateResult& aggregate : result.aggregates) {
+    aggregates.begin_row()
+        .add(aggregate.policy)
+        .add(aggregate.decay, 3)
+        .add_int(static_cast<long long>(aggregate.replicates));
+    for (const util::BootstrapCi& ci : aggregate.metrics)
+      aggregates.add(ci_cell(ci, aggregate.replicates));
+  }
+  std::cout << "\n== campaign summary (mean";
+  if (plan.seeds.size() > 1)
+    std::cout << " [" << util::format_number(spec.bootstrap_confidence * 100.0, 0)
+              << "% bootstrap CI] over " << plan.seeds.size() << " seeds";
+  std::cout << ") ==\n" << (csv ? aggregates.csv() : aggregates.str());
+
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) fail("cannot create --out directory " + out_dir + ": " + ec.message());
+    const std::string cells_path = out_dir + "/cells.csv";
+    const std::string summary_path = out_dir + "/summary.json";
+    std::ofstream cells(cells_path);
+    if (!cells) fail("cannot open " + cells_path);
+    scenario::write_cells_csv(result, cells);
+    std::ofstream summary(summary_path);
+    if (!summary) fail("cannot open " + summary_path);
+    scenario::write_summary_json(result, summary);
+    std::cout << "\n# wrote " << cells_path << " and " << summary_path << '\n';
+  }
+  return 0;
+}

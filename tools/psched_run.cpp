@@ -40,49 +40,6 @@ using namespace psched;
   std::exit(2);
 }
 
-std::optional<PolicyConfig> parse_policy(const std::string& name) {
-  for (const PolicyConfig& policy : all_paper_policies())
-    if (policy.display_name() == name) return policy;
-  PolicyConfig c;
-  if (name == "fcfs") {
-    c.kind = PolicyKind::Fcfs;
-    c.priority = PriorityKind::Fcfs;
-    return c;
-  }
-  if (name == "fcfs.fairshare") {
-    c.kind = PolicyKind::Fcfs;
-    return c;
-  }
-  if (name == "easy") {
-    c.kind = PolicyKind::Easy;
-    c.priority = PriorityKind::Fcfs;
-    return c;
-  }
-  if (name == "easy.fairshare") {
-    c.kind = PolicyKind::Easy;
-    return c;
-  }
-  if (name == "noguarantee") {
-    c.kind = PolicyKind::Cplant;
-    c.starvation_delay = kNoTime;
-    return c;
-  }
-  if (name == "cons.fcfs") {
-    c.kind = PolicyKind::Conservative;
-    c.priority = PriorityKind::Fcfs;
-    return c;
-  }
-  if (name.rfind("depth", 0) == 0) {
-    const int depth = std::atoi(name.c_str() + 5);
-    if (depth >= 1) {
-      c.kind = PolicyKind::Depth;
-      c.reservation_depth = depth;
-      return c;
-    }
-  }
-  return std::nullopt;
-}
-
 void print_usage() {
   std::cout <<
       "psched_run — fairness-aware parallel job scheduling simulator\n"
@@ -134,7 +91,7 @@ int main(int argc, char** argv) {
       system_size = static_cast<NodeCount>(std::atoi(next()));
     } else if (arg == "--policy") {
       const std::string name = next();
-      const auto policy = parse_policy(name);
+      const auto policy = policy_from_name(name);
       if (!policy) fail("unknown policy '" + name + "'");
       policies.push_back(*policy);
     } else if (arg == "--decay") {
@@ -158,12 +115,15 @@ int main(int argc, char** argv) {
 
   // Trace.
   Workload trace;
+  bool swf_source = false;
   if (!swf_path.empty()) {
     const workload::SwfReadResult read = workload::read_swf_file(swf_path, system_size);
     trace = read.workload;
-    std::cout << "# read " << trace.jobs.size() << " jobs from " << swf_path << " (skipped "
-              << read.skipped_records << " invalid, filtered " << read.filtered_records
-              << " non-completed)\n";
+    swf_source = true;
+    std::cout << "# read " << trace.jobs.size() << " jobs from " << swf_path << " (of "
+              << read.total_records << " records: skipped " << read.skipped_records
+              << " invalid, filtered " << read.filtered_records << " non-completed)\n"
+              << "# machine: " << read.describe_sizing() << '\n';
   } else {
     workload::GeneratorConfig generator;
     generator.seed = seed;
@@ -176,7 +136,7 @@ int main(int argc, char** argv) {
     std::cout << "# generated " << trace.jobs.size() << " synthetic jobs (seed " << seed
               << ", scale " << scale << ")\n";
   }
-  std::cout << "# machine: " << trace.system_size << " nodes\n";
+  if (!swf_source) std::cout << "# machine: " << trace.system_size << " nodes\n";
 
   if (!write_swf_path.empty()) {
     workload::write_swf_file(write_swf_path, trace);
@@ -188,7 +148,9 @@ int main(int argc, char** argv) {
 
   sim::EngineConfig base;
   base.fairshare_decay = decay;
-  sim::ExperimentRunner runner(trace, base);
+  metrics::FstOptions fst_options;
+  fst_options.tolerance = tolerance;
+  sim::ExperimentRunner runner(trace, base, fst_options);
 
   std::cout << "# simulating " << policies.size() << " policies";
   for (const PolicyConfig& policy : policies) std::cout << ' ' << policy.display_name();
@@ -196,14 +158,7 @@ int main(int argc, char** argv) {
   const std::vector<const sim::ExperimentResult*> results = runner.run_all(policies, jobs);
 
   std::vector<metrics::PolicyReport> reports;
-  for (const sim::ExperimentResult* run : results) {
-    metrics::FstOptions options;
-    options.tolerance = tolerance;
-    metrics::PolicyReport report = run->report;
-    if (tolerance != hours(24))
-      report.fairness = metrics::hybrid_fairshare_fst(run->simulation, options);
-    reports.push_back(std::move(report));
-  }
+  for (const sim::ExperimentResult* run : results) reports.push_back(run->report);
 
   const util::TextTable fairness = metrics::fairness_summary_table(reports);
   const util::TextTable performance = metrics::performance_summary_table(reports);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The whole CI gate in one script, runnable locally or from the workflow:
+#   1. tier-1: configure + build + ctest (the correctness contract)
+#   2. compile-gate the opt-in experiment/example binaries
+#   3. a one-spec campaign smoke run (SWF replay of the committed sample
+#      trace), checked for a non-empty results store
+#
+# Env knobs:
+#   PSCHED_CI_BUILD_DIR  tier-1 build directory (default build-ci)
+#   PSCHED_CI_JOBS       parallel build/test jobs (default nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${PSCHED_CI_BUILD_DIR:-build-ci}"
+JOBS="${PSCHED_CI_JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build =="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== experiments/examples compile gate =="
+./tools/check_examples.sh
+
+echo "== campaign smoke run =="
+SMOKE_OUT="$BUILD/campaign-smoke"
+"$BUILD"/psched_campaign examples/campaigns/swf_replay.spec --out "$SMOKE_OUT" --jobs 1
+test -s "$SMOKE_OUT/cells.csv" && test -s "$SMOKE_OUT/summary.json"
+# Two policies on the sample trace -> header + 2 rows.
+test "$(wc -l < "$SMOKE_OUT/cells.csv")" -eq 3
+
+echo "CI green"
