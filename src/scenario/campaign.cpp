@@ -1,16 +1,20 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <limits>
+#include <cstdlib>
+#include <memory>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "metrics/fst.hpp"
 #include "metrics/selection.hpp"
 #include "sim/experiment.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 #include "workload/transform.hpp"
@@ -43,42 +47,21 @@ std::string cell_key(const CampaignCell& cell, sim::WclEnforcement wcl) {
   return key.str();
 }
 
-/// Round-trip double formatting for the results store: the shortest decimal
-/// representation that parses back to exactly `value` (0.9 stays "0.9", not
-/// "0.90000000000000002"), so diffs of two result stores stay readable.
-std::string fmt_double(double value) {
-  for (int precision = 1; precision < std::numeric_limits<double>::max_digits10; ++precision) {
-    std::ostringstream out;
-    out.precision(precision);
-    out << value;
-    if (std::stod(out.str()) == value) return out.str();
-  }
-  std::ostringstream out;
-  out.precision(std::numeric_limits<double>::max_digits10);
-  out << value;
-  return out.str();
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+/// Journal identity of a cell: the in-plan key prefixed with a fingerprint
+/// of everything *outside* the key that shapes the cell's numbers — the
+/// workload content, the FST tolerance and the metric set. Content-addressed,
+/// so a journal can never hand a result to a cell it was not computed for.
+std::string persistent_cell_key(std::uint64_t workload_fp, const ScenarioSpec& spec,
+                                const CampaignCell& cell) {
+  util::Fnv1a env;
+  env.mix(workload_fp);
+  env.mix(spec.tolerance);
+  env.mix(spec.metrics.size());
+  for (const std::string& metric : spec.metrics) env.mix(std::string_view(metric));
+  char prefix[24];
+  std::snprintf(prefix, sizeof(prefix), "env=%016llx|",
+                static_cast<unsigned long long>(env.digest()));
+  return prefix + cell.key;
 }
 
 const char* wcl_name(sim::WclEnforcement wcl) {
@@ -90,7 +73,45 @@ const char* wcl_name(sim::WclEnforcement wcl) {
   return "?";
 }
 
+/// Test-only fault injection, parsed from PSCHED_FAULT_INJECT
+/// ("cell:<plan-index>:throw" or "cell:<plan-index>:hang"). `throw` fails the
+/// cell with a runtime_error; `hang` spins inside the cell until its stop
+/// token trips (timeout/signal) — or forever, for kill-resume tests.
+struct FaultInject {
+  bool active = false;
+  std::size_t cell = 0;
+  bool hang = false;
+};
+
+FaultInject parse_fault_inject() {
+  FaultInject fault;
+  const char* env = std::getenv("PSCHED_FAULT_INJECT");
+  if (env == nullptr || *env == '\0') return fault;
+  const std::string text(env);
+  const std::string bad = "PSCHED_FAULT_INJECT: expected cell:<n>:throw|hang, got '" + text + "'";
+  if (text.rfind("cell:", 0) != 0) throw std::runtime_error(bad);
+  const std::size_t colon = text.find(':', 5);
+  if (colon == std::string::npos) throw std::runtime_error(bad);
+  try {
+    fault.cell = std::stoul(text.substr(5, colon - 5));
+  } catch (const std::exception&) {
+    throw std::runtime_error(bad);
+  }
+  const std::string mode = text.substr(colon + 1);
+  if (mode == "hang") fault.hang = true;
+  else if (mode != "throw") throw std::runtime_error(bad);
+  fault.active = true;
+  return fault;
+}
+
 }  // namespace
+
+std::size_t CampaignResult::count(CellStatus status) const {
+  std::size_t n = 0;
+  for (const CellResult& cell : cells)
+    if (cell.status == status) ++n;
+  return n;
+}
 
 CampaignPlan expand_campaign(const ScenarioSpec& spec) {
   CampaignPlan plan;
@@ -179,27 +200,63 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   CampaignResult result;
   result.spec = spec;
   result.plan = expand_campaign(spec);
+  const std::size_t n = result.plan.cells.size();
+  const FaultInject fault = parse_fault_inject();
 
   // One workload per replicate seed, built up front (groups with different
-  // engine knobs share it).
+  // engine knobs share it), fingerprinted for the journal cell keys.
   std::vector<std::pair<std::uint64_t, Workload>> workloads;
+  std::vector<std::uint64_t> workload_fps;
   for (const std::uint64_t seed : result.plan.seeds) {
     workload::SwfReadResult swf_info;
     const bool want_swf = spec.workload.source == WorkloadSpec::Source::Swf && !result.swf_info;
     workloads.emplace_back(seed,
                            build_workload(spec.workload, seed, want_swf ? &swf_info : nullptr));
     if (want_swf) result.swf_info = std::move(swf_info);
+    workload_fps.push_back(workload_fingerprint(workloads.back().second));
     CampaignResult::TraceInfo info;
     info.seed = seed;
     info.jobs = workloads.back().second.jobs.size();
     info.system_size = workloads.back().second.system_size;
     result.traces.push_back(info);
   }
-  const auto workload_for = [&](std::uint64_t seed) -> const Workload& {
-    for (const auto& [s, w] : workloads)
-      if (s == seed) return w;
+  const auto seed_slot = [&](std::uint64_t seed) -> std::size_t {
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+      if (workloads[i].first == seed) return i;
     throw std::logic_error("run_campaign: seed without workload");
   };
+
+  // Journal identity: whole-spec fingerprint (header) + per-cell keys.
+  const std::uint64_t spec_fp = spec_fingerprint(spec);
+  std::vector<std::string> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = persistent_cell_key(workload_fps[seed_slot(result.plan.cells[i].seed)], spec,
+                                  result.plan.cells[i]);
+
+  // Resume: replay the journal, then restore Ok cells by key below. Failed,
+  // timed-out and cancelled records stay in the map but do not restore, so
+  // those cells re-run (their new outcome is appended — last record wins).
+  std::map<std::string, JournalCellRecord> journaled;
+  if (options.resume) {
+    if (options.journal_path.empty())
+      throw std::runtime_error("campaign resume requires a journal path");
+    JournalReplay replay = replay_journal(options.journal_path);
+    if (replay.header.spec_fingerprint != spec_fp)
+      throw std::runtime_error(options.journal_path +
+                               ": journal was written by a different spec "
+                               "(fingerprint mismatch); refusing to resume");
+    result.replayed_records = replay.records;
+    journaled = std::move(replay.cells);
+  }
+  std::unique_ptr<CampaignJournal> journal;
+  if (!options.journal_path.empty()) {
+    if (!options.resume) std::remove(options.journal_path.c_str());
+    JournalHeader header;
+    header.campaign = spec.name;
+    header.spec_fingerprint = spec_fp;
+    header.cells = n;
+    journal = std::make_unique<CampaignJournal>(options.journal_path, header);
+  }
 
   // Shard: cells sharing (seed, engine knobs) sweep through one cached
   // ExperimentRunner; groups run in first-appearance order, so every output
@@ -210,7 +267,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     std::vector<std::size_t> cell_positions;
   };
   std::vector<Group> groups;
-  for (std::size_t i = 0; i < result.plan.cells.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const CampaignCell& cell = result.plan.cells[i];
     const auto group = std::find_if(groups.begin(), groups.end(), [&](const Group& g) {
       return g.seed == cell.seed && g.decay == cell.decay;
@@ -221,44 +278,135 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
       group->cell_positions.push_back(i);
   }
 
-  result.cells.resize(result.plan.cells.size());
-  result.reports.resize(result.plan.cells.size());
+  result.cells.resize(n);
+  result.reports.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.cells[i].cell = result.plan.cells[i];
+
+  bool halted = false;  // keep_going=false tripped by a failed cell
   for (const Group& group : groups) {
+    if (halted || options.stop.stop_requested()) break;  // rest stays Pending
+
+    // Restore journaled-Ok cells without simulating; collect the rest.
+    std::vector<std::size_t> pending_positions;
+    for (const std::size_t position : group.cell_positions) {
+      const auto it = journaled.find(keys[position]);
+      if (it != journaled.end() && it->second.status == CellStatus::Ok) {
+        if (it->second.metrics.size() != spec.metrics.size())
+          throw std::runtime_error(options.journal_path + ": journaled cell '" + keys[position] +
+                                   "' has " + std::to_string(it->second.metrics.size()) +
+                                   " metrics, spec wants " +
+                                   std::to_string(spec.metrics.size()));
+        CellResult& cell = result.cells[position];
+        cell.status = CellStatus::Ok;
+        cell.metrics = it->second.metrics;
+        cell.restored = true;
+        ++result.restored_cells;
+      } else {
+        pending_positions.push_back(position);
+      }
+    }
+    if (pending_positions.empty()) continue;
+
     sim::EngineConfig base;
     base.fairshare_decay = group.decay;
     base.wcl_enforcement = spec.wcl_enforcement;
     metrics::FstOptions fst;
     fst.tolerance = spec.tolerance;
-    sim::ExperimentRunner runner(workload_for(group.seed), base, fst);
+    sim::ExperimentRunner runner(workloads[seed_slot(group.seed)].second, base, fst);
 
     std::vector<PolicyConfig> policies;
-    policies.reserve(group.cell_positions.size());
-    for (const std::size_t position : group.cell_positions)
+    policies.reserve(pending_positions.size());
+    for (const std::size_t position : pending_positions)
       policies.push_back(result.plan.cells[position].policy);
-    const std::vector<const sim::ExperimentResult*> runs = runner.run_all(policies, options.jobs);
 
-    for (std::size_t i = 0; i < group.cell_positions.size(); ++i) {
-      const std::size_t position = group.cell_positions[i];
-      metrics::PolicyReport report = runs[i]->report;
+    sim::IsolatedRunOptions run_options;
+    run_options.jobs = options.jobs;
+    run_options.stop = options.stop;
+    run_options.keep_going = options.keep_going;
+    if (options.cell_timeout > 0.0)
+      // Chain to the campaign token so SIGINT still cancels the cell; the
+      // deadline starts when the lane picks the cell up, not at sweep start.
+      run_options.cell_stop = [&](std::size_t) {
+        util::StopSource source(options.stop);
+        source.set_deadline_after(options.cell_timeout);
+        return source.token();
+      };
+    if (fault.active)
+      run_options.on_start = [&](std::size_t i, const util::StopToken& token) {
+        if (pending_positions[i] != fault.cell) return;
+        if (!fault.hang) throw std::runtime_error("injected fault (PSCHED_FAULT_INJECT)");
+        while (!token.stop_requested())
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        throw sim::SimulationCancelled(token.reason());
+      };
+    // Serialized by run_isolated: classify, record durably, count. A cell is
+    // in the journal the instant it finished — a crash after this point
+    // cannot lose it.
+    run_options.on_finish = [&](std::size_t i, const sim::CellOutcome& outcome) {
+      const std::size_t position = pending_positions[i];
       CellResult& cell = result.cells[position];
-      cell.cell = result.plan.cells[position];
-      cell.metrics.reserve(spec.metrics.size());
-      for (const std::string& metric : spec.metrics)
-        cell.metrics.push_back(metrics::metric_value(report, metric));
-      result.reports[position] = std::move(report);
+      if (outcome.result != nullptr) {
+        cell.status = CellStatus::Ok;
+        cell.metrics.reserve(spec.metrics.size());
+        for (const std::string& metric : spec.metrics)
+          cell.metrics.push_back(metrics::metric_value(outcome.result->report, metric));
+      } else {
+        try {
+          std::rethrow_exception(outcome.error);
+        } catch (const sim::SimulationCancelled& cancelled) {
+          // A tripped campaign token (signal, wall budget) means the *run*
+          // stopped, not that this cell was slow — label it cancelled even
+          // when the proximate reason was the wall-budget deadline.
+          cell.status = options.stop.stop_requested() ? CellStatus::Cancelled
+                        : cancelled.reason() == util::StopReason::Timeout ? CellStatus::Timeout
+                                                                         : CellStatus::Cancelled;
+          cell.error = cancelled.what();
+        } catch (const std::exception& error) {
+          cell.status = CellStatus::Failed;
+          cell.error = error.what();
+        } catch (...) {
+          cell.status = CellStatus::Failed;
+          cell.error = "unknown error";
+        }
+      }
+      ++result.simulated_cells;
+      if (journal) {
+        JournalCellRecord record;
+        record.key = keys[position];
+        record.index = position;
+        record.status = cell.status;
+        record.metrics = cell.metrics;
+        record.error = cell.error;
+        journal->record(record);
+      }
+    };
+
+    const std::vector<sim::CellOutcome> outcomes = runner.run_isolated(policies, run_options);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].result != nullptr)
+        result.reports[pending_positions[i]] = outcomes[i].result->report;
+      if (outcomes[i].error && !options.keep_going) halted = true;
     }
   }
 
-  // Aggregate replicate seeds: cells identical up to the seed share one
+  result.interrupted = options.stop.stop_requested();
+  result.reports_complete =
+      result.restored_cells == 0 &&
+      std::all_of(result.cells.begin(), result.cells.end(),
+                  [](const CellResult& cell) { return cell.status == CellStatus::Ok; });
+
+  // Aggregate replicate seeds: Ok cells identical up to the seed share one
   // aggregate, values in seed-list order. Bootstrap rng streams are derived
   // per (aggregate, metric) from the spec seed, so the CI is deterministic
-  // and independent of sweep parallelism.
+  // and independent of sweep parallelism — and of whether a cell was
+  // simulated or restored, since journal metrics round-trip bit-exactly.
   struct AggSlot {
     std::string key;
     std::vector<std::size_t> cell_positions;
   };
   std::vector<AggSlot> slots;
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    if (result.cells[i].status != CellStatus::Ok) continue;
     const CampaignCell& cell = result.cells[i].cell;
     std::ostringstream key;
     key << "decay=" << std::hexfloat << cell.decay << std::defaultfloat << '|'
@@ -295,13 +443,18 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
 }
 
 void write_cells_csv(const CampaignResult& result, std::ostream& out) {
-  out << "index,seed,decay,wcl_enforcement,policy";
+  out << "index,seed,decay,wcl_enforcement,policy,status";
   for (const std::string& metric : result.spec.metrics) out << ',' << metric;
   out << '\n';
   for (const CellResult& cell : result.cells) {
-    out << cell.cell.index << ',' << cell.cell.seed << ',' << fmt_double(cell.cell.decay) << ','
-        << wcl_name(result.spec.wcl_enforcement) << ',' << cell.cell.policy.display_name();
-    for (const double value : cell.metrics) out << ',' << fmt_double(value);
+    out << cell.cell.index << ',' << cell.cell.seed << ','
+        << format_round_trip_double(cell.cell.decay) << ','
+        << wcl_name(result.spec.wcl_enforcement) << ',' << cell.cell.policy.display_name() << ','
+        << cell_status_name(cell.status);
+    if (cell.status == CellStatus::Ok)
+      for (const double value : cell.metrics) out << ',' << format_round_trip_double(value);
+    else
+      for (std::size_t m = 0; m < result.spec.metrics.size(); ++m) out << ',';
     out << '\n';
   }
 }
@@ -310,12 +463,36 @@ void write_summary_json(const CampaignResult& result, std::ostream& out) {
   const ScenarioSpec& spec = result.spec;
   out << "{\n";
   out << "  \"campaign\": \"" << json_escape(spec.name) << "\",\n";
+  out << "  \"status\": \"" << (result.interrupted ? "interrupted" : "complete") << "\",\n";
   if (spec.workload.source == WorkloadSpec::Source::Swf)
     out << "  \"source\": \"swf:" << json_escape(spec.workload.swf_file) << "\",\n";
   else
-    out << "  \"source\": \"ross\",\n  \"scale\": " << fmt_double(spec.workload.scale) << ",\n";
+    out << "  \"source\": \"ross\",\n  \"scale\": "
+        << format_round_trip_double(spec.workload.scale) << ",\n";
   out << "  \"expanded_cells\": " << result.plan.expanded_cells << ",\n";
   out << "  \"unique_cells\": " << result.plan.cells.size() << ",\n";
+  // Per-status counts and errors are independent of *how* each Ok cell was
+  // obtained (simulated vs journal-restored), so a resumed run's summary is
+  // byte-identical to an uninterrupted one.
+  out << "  \"cells\": {";
+  bool first_count = true;
+  for (const CellStatus status : {CellStatus::Ok, CellStatus::Failed, CellStatus::Timeout,
+                                  CellStatus::Cancelled, CellStatus::Pending}) {
+    out << (first_count ? "" : ", ") << '"' << cell_status_name(status)
+        << "\": " << result.count(status);
+    first_count = false;
+  }
+  out << "},\n";
+  out << "  \"cell_errors\": [";
+  bool first_error = true;
+  for (const CellResult& cell : result.cells) {
+    if (cell.status == CellStatus::Ok || cell.status == CellStatus::Pending) continue;
+    out << (first_error ? "" : ", ") << "{\"index\": " << cell.cell.index << ", \"status\": \""
+        << cell_status_name(cell.status) << "\", \"error\": \"" << json_escape(cell.error)
+        << "\"}";
+    first_error = false;
+  }
+  out << "],\n";
   out << "  \"seeds\": [";
   for (std::size_t i = 0; i < result.plan.seeds.size(); ++i)
     out << (i != 0 ? ", " : "") << result.plan.seeds[i];
@@ -323,7 +500,7 @@ void write_summary_json(const CampaignResult& result, std::ostream& out) {
   out << "  \"wcl_enforcement\": \"" << wcl_name(spec.wcl_enforcement) << "\",\n";
   out << "  \"tolerance_seconds\": " << spec.tolerance << ",\n";
   out << "  \"bootstrap\": {\"resamples\": " << spec.bootstrap_resamples
-      << ", \"confidence\": " << fmt_double(spec.bootstrap_confidence)
+      << ", \"confidence\": " << format_round_trip_double(spec.bootstrap_confidence)
       << ", \"seed\": " << spec.bootstrap_seed << "},\n";
   out << "  \"metrics\": [";
   for (std::size_t i = 0; i < spec.metrics.size(); ++i)
@@ -333,13 +510,14 @@ void write_summary_json(const CampaignResult& result, std::ostream& out) {
   for (std::size_t a = 0; a < result.aggregates.size(); ++a) {
     const AggregateResult& aggregate = result.aggregates[a];
     out << "    {\"policy\": \"" << json_escape(aggregate.policy)
-        << "\", \"decay\": " << fmt_double(aggregate.decay)
+        << "\", \"decay\": " << format_round_trip_double(aggregate.decay)
         << ", \"replicates\": " << aggregate.replicates << ", \"metrics\": {";
     for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
       const util::BootstrapCi& ci = aggregate.metrics[m];
-      out << (m != 0 ? ", " : "") << '"' << json_escape(spec.metrics[m]) << "\": {\"mean\": "
-          << fmt_double(ci.mean) << ", \"ci_lo\": " << fmt_double(ci.lo)
-          << ", \"ci_hi\": " << fmt_double(ci.hi) << '}';
+      out << (m != 0 ? ", " : "") << '"' << json_escape(spec.metrics[m])
+          << "\": {\"mean\": " << format_round_trip_double(ci.mean)
+          << ", \"ci_lo\": " << format_round_trip_double(ci.lo)
+          << ", \"ci_hi\": " << format_round_trip_double(ci.hi) << '}';
     }
     out << "}}" << (a + 1 != result.aggregates.size() ? "," : "") << '\n';
   }

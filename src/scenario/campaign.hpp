@@ -7,8 +7,18 @@
 // tools/summarize_benches.py-style diffing.
 //
 // Determinism contract: cell order, simulation results, aggregates and both
-// writers are byte-identical for every parallelism level — the sweep reuses
-// ExperimentRunner::run_all's guarantee and everything after it is serial.
+// writers are byte-identical for every parallelism level — each cell's
+// simulation owns all its mutable state and everything after the sweep is
+// serial. The same contract extends across crashes: with a journal enabled,
+// a killed campaign resumed with CampaignOptions::resume restores finished
+// cells bit-exactly from journal.jsonl (see scenario/journal.hpp) and the
+// final cells.csv / summary.json are byte-identical to an uninterrupted run.
+//
+// Robustness contract: cells are fault-isolated. A cell that throws, times
+// out (cell_timeout) or is cancelled (a tripped CampaignOptions::stop, e.g.
+// SIGINT or a wall budget) becomes a status row in the results store instead
+// of aborting the campaign; `keep_going = false` stops scheduling further
+// cells after the first failure but still reports everything attempted.
 
 #include <cstdint>
 #include <iosfwd>
@@ -17,8 +27,10 @@
 #include <vector>
 
 #include "metrics/report.hpp"
+#include "scenario/journal.hpp"
 #include "scenario/spec.hpp"
 #include "util/stats.hpp"
+#include "util/stop_token.hpp"
 #include "workload/swf.hpp"
 
 namespace psched::scenario {
@@ -48,10 +60,14 @@ struct CampaignPlan {
 /// ONE cell, not one per delay value.
 CampaignPlan expand_campaign(const ScenarioSpec& spec);
 
-/// All selected metrics of one simulated cell, in spec.metrics order.
+/// The outcome of one cell: metrics when Ok, an error detail otherwise.
+/// Pending cells were never attempted (the campaign stopped first).
 struct CellResult {
   CampaignCell cell;
-  std::vector<double> metrics;
+  CellStatus status = CellStatus::Pending;
+  std::vector<double> metrics;  ///< spec.metrics order; Ok cells only
+  std::string error;            ///< failure/timeout/cancellation detail
+  bool restored = false;        ///< replayed from the journal, not simulated
 };
 
 /// One policy cell aggregated across the replicate seeds.
@@ -66,9 +82,20 @@ struct CampaignResult {
   ScenarioSpec spec;
   CampaignPlan plan;
   std::vector<CellResult> cells;          ///< expansion order
+  /// Aggregates over the Ok cells only (a failed replicate simply drops out
+  /// of its aggregate; an aggregate with no Ok cell is omitted).
   std::vector<AggregateResult> aggregates;
   /// Full per-cell reports (for figure-style tables); parallel to cells.
+  /// Only meaningful when `reports_complete` — restored cells carry their
+  /// journaled metrics but no report, and non-Ok cells have none.
   std::vector<metrics::PolicyReport> reports;
+  bool reports_complete = false;
+  /// True when the campaign-wide stop tripped (signal / wall budget) before
+  /// every cell finished; pending/cancelled rows explain which cells.
+  bool interrupted = false;
+  std::size_t simulated_cells = 0;  ///< cells run in this process
+  std::size_t restored_cells = 0;   ///< cells replayed from the journal
+  std::size_t replayed_records = 0; ///< journal cell records read on resume
   /// Per-seed trace shape, for banners: jobs and machine size.
   struct TraceInfo {
     std::uint64_t seed = 0;
@@ -78,12 +105,32 @@ struct CampaignResult {
   std::vector<TraceInfo> traces;
   /// SWF source only: what ingestion dropped and how the machine was sized.
   std::optional<workload::SwfReadResult> swf_info;
+
+  std::size_t count(CellStatus status) const;
 };
 
 struct CampaignOptions {
-  /// Concurrent simulations per policy sweep (ExperimentRunner::run_all
-  /// jobs): 0 = global pool size, 1 = serial. Results identical either way.
+  /// Concurrent simulations per policy sweep: 0 = global pool size,
+  /// 1 = serial. Results identical either way.
   std::size_t jobs = 0;
+  /// Path of the append-only journal (journal.jsonl in the results dir).
+  /// Empty disables journaling (and therefore resume). A fresh run truncates
+  /// any stale journal at this path.
+  std::string journal_path;
+  /// Replay `journal_path` before running: cells journaled Ok are restored
+  /// without simulating, failed/timed-out/cancelled cells re-run. Throws if
+  /// the journal is missing or was written by a different spec.
+  bool resume = false;
+  /// false: stop scheduling new cells after the first failed cell (cells
+  /// already in flight still finish and are reported).
+  bool keep_going = true;
+  /// Per-cell wall-clock budget in seconds (0 = none). A cell exceeding it
+  /// is cancelled at its next event boundary and becomes a `timeout` row.
+  double cell_timeout = 0.0;
+  /// Campaign-wide stop (SIGINT/SIGTERM, wall budget). Once tripped, no new
+  /// cells start, in-flight cells cancel at their next event boundary, and
+  /// the result is marked `interrupted`.
+  util::StopToken stop;
 };
 
 /// Build the workload a spec describes for one replicate seed (the Ross
@@ -92,13 +139,17 @@ struct CampaignOptions {
 Workload build_workload(const WorkloadSpec& spec, std::uint64_t seed,
                         workload::SwfReadResult* swf_info = nullptr);
 
-/// Run the whole campaign. Throws on unresolvable specs or simulation
-/// errors; partial results are not returned.
+/// Run the whole campaign. Throws on unresolvable specs, journal corruption
+/// or resume mismatches; per-cell simulation failures do NOT throw — they
+/// become status rows in the returned result (fault isolation).
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options = {});
 
 /// Results store: one CSV row per cell
-/// ("index,seed,decay,wcl_enforcement,policy,<metric>..") and a JSON summary
-/// of the aggregates. Both deterministic in the result.
+/// ("index,seed,decay,wcl_enforcement,policy,status,<metric>.."; non-Ok rows
+/// leave the metric fields empty) and a JSON summary of the aggregates plus
+/// per-status cell counts and a cell_errors array. Both deterministic in the
+/// result, and both independent of how cells were obtained (simulated vs
+/// restored) so resumed runs diff clean against uninterrupted ones.
 void write_cells_csv(const CampaignResult& result, std::ostream& out);
 void write_summary_json(const CampaignResult& result, std::ostream& out);
 

@@ -1,0 +1,110 @@
+#pragma once
+// Crash-safe campaign result journal: an append-only journal.jsonl in the
+// results directory, one fsynced record per finished cell. Because every
+// record is durable the instant it is written, a killed campaign (OOM,
+// SIGKILL, container eviction) loses at most the cells that were in flight —
+// --resume replays the journal, restores every completed cell bit-exactly
+// (metric values round-trip through shortest-repr decimal), and simulates
+// only what is missing.
+//
+// File format, one JSON object per line:
+//   {"kind":"header","version":1,"campaign":...,"spec_fingerprint":"<hex>","cells":N}
+//   {"kind":"cell","key":"...","index":i,"status":"ok","metrics":[...]}
+//   {"kind":"cell","key":"...","index":i,"status":"failed","error":"..."}
+// Replay rules: the final line may be torn (a crash mid-append) and is
+// tolerated; a malformed line anywhere earlier is corruption and is rejected
+// with its line number; duplicate cell keys are legal and the last record
+// wins (a resumed run re-runs failed cells and appends their new outcome).
+//
+// Cell identity is content-addressed, not positional: workload fingerprint +
+// engine knobs + PolicyConfig::canonical_key() + the metric set (see
+// persistent_cell_key in campaign.cpp), so a journal can never hand a result
+// to a cell it was not computed for. The header carries a whole-spec
+// fingerprint: resuming against an edited spec is rejected outright.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace psched::scenario {
+
+/// Where a campaign cell ended up. Pending = not attempted (yet, or the run
+/// stopped first); the other four are journaled terminal states.
+enum class CellStatus { Ok, Failed, Timeout, Cancelled, Pending };
+
+const char* cell_status_name(CellStatus status);
+
+/// Stable content fingerprint of a workload (machine size + every job's
+/// identity-relevant fields). Part of each cell's journal key, so results
+/// can never be resumed onto a different trace.
+std::uint64_t workload_fingerprint(const Workload& workload);
+
+/// Stable fingerprint over every semantic field of a spec (workload source
+/// and transforms, policy grid, seeds, metrics, engine knobs, bootstrap
+/// parameters). Stored in the journal header; --resume requires an exact
+/// match, so an edited spec cannot silently inherit stale results.
+std::uint64_t spec_fingerprint(const ScenarioSpec& spec);
+
+/// Round-trip double formatting: the shortest decimal representation that
+/// parses back to exactly `value` — journal metrics and the results store
+/// share it, which is what makes resume byte-identical.
+std::string format_round_trip_double(double value);
+
+/// Minimal JSON string escaping for the journal and summary writers.
+std::string json_escape(const std::string& text);
+
+struct JournalHeader {
+  std::string campaign;
+  std::uint64_t spec_fingerprint = 0;
+  std::size_t cells = 0;  ///< planned unique cells
+};
+
+struct JournalCellRecord {
+  std::string key;
+  std::size_t index = 0;  ///< plan index, informational (identity is `key`)
+  CellStatus status = CellStatus::Pending;
+  std::vector<double> metrics;  ///< spec.metrics order; only for status Ok
+  std::string error;            ///< failure/cancellation detail otherwise
+};
+
+/// Append-only writer. Records are durable when record() returns (single
+/// write() + fsync per line); thread-safe, so sweep lanes journal cells the
+/// moment they finish.
+class CampaignJournal {
+ public:
+  /// Open (or create) `path` for appending; a new/empty journal gets the
+  /// fsynced header record first. Throws std::runtime_error on I/O errors.
+  CampaignJournal(std::string path, const JournalHeader& header);
+  ~CampaignJournal();
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  void record(const JournalCellRecord& cell);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void append_line(const std::string& line);
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mutex_;
+};
+
+struct JournalReplay {
+  JournalHeader header;
+  std::map<std::string, JournalCellRecord> cells;  ///< last record per key
+  std::size_t records = 0;   ///< cell records replayed, duplicates included
+  bool torn_tail = false;    ///< final line was incomplete and was dropped
+};
+
+/// Replay a journal for --resume. Throws std::runtime_error when the file is
+/// missing, the header is absent, or any non-final line is malformed (the
+/// message names `path:line`). A torn final line only sets `torn_tail`.
+JournalReplay replay_journal(const std::string& path);
+
+}  // namespace psched::scenario

@@ -285,6 +285,10 @@ void SimulationEngine::pop_event() {
 void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
   std::vector<JobId> starts;
   while (!events_.empty()) {
+    // Cooperative cancellation at the event boundary: engine state here is a
+    // consistent between-events snapshot, so a cancelled run can be thrown
+    // away without ever exposing a torn result.
+    if (config_.stop.stop_requested()) throw SimulationCancelled(config_.stop.reason());
     const Time t = events_top().at;
     advance_accounting(t);
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "core/fairshare.hpp"
@@ -20,8 +21,27 @@
 #include "core/record.hpp"
 #include "core/runtime_limit.hpp"
 #include "core/scheduler.hpp"
+#include "util/stop_token.hpp"
 
 namespace psched::sim {
+
+/// Thrown when a simulation observes its StopToken tripped (cancellation or
+/// deadline). Always raised at an event boundary, so the abandoned engine
+/// never produced a partial SimulationResult — a cancelled run is simply
+/// discarded, never a corrupted result. reason() distinguishes an explicit
+/// stop (SIGINT, dependent failure) from a deadline (cell timeout,
+/// wall-clock budget).
+class SimulationCancelled : public std::runtime_error {
+ public:
+  explicit SimulationCancelled(util::StopReason reason)
+      : std::runtime_error(std::string("simulation stopped: ") +
+                           util::stop_reason_name(reason)),
+        reason_(reason) {}
+  util::StopReason reason() const { return reason_; }
+
+ private:
+  util::StopReason reason_;
+};
 
 /// What happens when a job reaches its wall clock limit while still running.
 /// CPlant killed jobs at the WCL only when other jobs wanted the processors
@@ -58,6 +78,11 @@ struct EngineConfig {
   bool record_snapshots = true;        ///< needed by the FST metrics
   /// Re-test interval for spared over-running jobs under KillIfNeeded.
   Time wcl_recheck_interval = hours(1);
+  /// Cooperative cancellation: polled at every event boundary of the run
+  /// loop (and therefore inside every fork drain — forks copy the config).
+  /// When it trips, the run throws SimulationCancelled. Empty (the default)
+  /// costs one branch per event batch.
+  util::StopToken stop;
 };
 
 /// Runs one policy over one workload. Single-shot: construct, run(), read the

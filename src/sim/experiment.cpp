@@ -19,29 +19,55 @@ ExperimentRunner::CacheEntry& ExperimentRunner::entry_for(const PolicyConfig& po
   return *slot;
 }
 
-const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy) {
+const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy, util::StopToken stop) {
   CacheEntry& entry = entry_for(policy);
-  std::call_once(entry.once, [&] {
-    // Errors are cached too: every caller of a broken config sees the same
-    // exception instead of half of them retrying the simulation.
-    try {
-      auto result = std::make_unique<ExperimentResult>();
-      result->policy = policy;
-      EngineConfig config = base_;
-      config.policy = policy;
-      result->simulation = simulate(workload_, config);
-      result->report = metrics::evaluate(result->simulation, fst_options_);
-      entry.result = std::move(result);
-    } catch (...) {
-      entry.error = std::current_exception();
-    }
-  });
+  std::unique_lock<std::mutex> lock(entry.mutex);
+  if (entry.state == CacheEntry::State::Running) {
+    // Join the in-flight computation and share its outcome — including its
+    // error (retrying per joiner would simulate a broken config N times).
+    entry.cv.wait(lock, [&] { return entry.state != CacheEntry::State::Running; });
+    if (entry.state == CacheEntry::State::Done) return *entry.result;
+    std::rethrow_exception(entry.error);
+  }
+  if (entry.state == CacheEntry::State::Done) return *entry.result;
+
+  // Empty, or Failed: become the flight. A Failed entry is evicted here so a
+  // retry (e.g. after a cancellation or timeout) can succeed without a
+  // process restart; concurrent retriers serialize on the Running state.
+  entry.state = CacheEntry::State::Running;
+  entry.error = nullptr;
+  lock.unlock();
+
+  std::unique_ptr<ExperimentResult> result;
+  std::exception_ptr error;
+  try {
+    result = std::make_unique<ExperimentResult>();
+    result->policy = policy;
+    EngineConfig config = base_;
+    config.policy = policy;
+    if (stop.valid()) config.stop = stop;
+    result->simulation = simulate(workload_, config);
+    result->report = metrics::evaluate(result->simulation, fst_options_);
+  } catch (...) {
+    error = std::current_exception();
+    result.reset();
+  }
+
+  lock.lock();
+  if (error) {
+    entry.error = error;
+    entry.state = CacheEntry::State::Failed;
+  } else {
+    entry.result = std::move(result);
+    entry.state = CacheEntry::State::Done;  // terminal: references stay valid
+  }
+  entry.cv.notify_all();
   if (entry.error) std::rethrow_exception(entry.error);
   return *entry.result;
 }
 
 std::vector<const ExperimentResult*> ExperimentRunner::run_all(
-    const std::vector<PolicyConfig>& policies, std::size_t jobs) {
+    const std::vector<PolicyConfig>& policies, std::size_t jobs, util::StopToken stop) {
   const std::size_t n = policies.size();
   std::vector<const ExperimentResult*> results(n, nullptr);
   util::ThreadPool& pool = util::global_pool();
@@ -53,7 +79,10 @@ std::vector<const ExperimentResult*> ExperimentRunner::run_all(
   // inside a pool task could wait on workers that are all occupied by its
   // ancestors — run serially there instead.
   if (jobs <= 1 || util::ThreadPool::in_pool_task()) {
-    for (std::size_t i = 0; i < n; ++i) results[i] = &run(policies[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stop.stop_requested()) throw SimulationCancelled(stop.reason());
+      results[i] = &run(policies[i], stop);
+    }
     return results;
   }
 
@@ -64,13 +93,13 @@ std::vector<const ExperimentResult*> ExperimentRunner::run_all(
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   const auto sweep = [&] {
-    // Stop pulling new policies once any lane failed: the sweep's error is
-    // about to be rethrown and every further simulation would be discarded.
-    while (!failed.load(std::memory_order_relaxed)) {
+    // Stop pulling new policies once any lane failed or the token tripped:
+    // every further simulation would be discarded anyway.
+    while (!failed.load(std::memory_order_relaxed) && !stop.stop_requested()) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        results[i] = &run(policies[i]);
+        results[i] = &run(policies[i], stop);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         throw;
@@ -95,7 +124,72 @@ std::vector<const ExperimentResult*> ExperimentRunner::run_all(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  // A tripped token can leave slots unvisited without any lane throwing;
+  // callers dereference every slot, so surface the cancellation instead.
+  if (stop.stop_requested())
+    for (const ExperimentResult* r : results)
+      if (r == nullptr) throw SimulationCancelled(stop.reason());
   return results;
+}
+
+std::vector<CellOutcome> ExperimentRunner::run_isolated(
+    const std::vector<PolicyConfig>& policies, const IsolatedRunOptions& options) {
+  const std::size_t n = policies.size();
+  std::vector<CellOutcome> outcomes(n);
+  util::ThreadPool& pool = util::global_pool();
+  std::size_t jobs = options.jobs == 0 ? pool.size() : options.jobs;
+  jobs = std::min(jobs, n);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> halt{false};
+  std::mutex finish_mutex;
+  const auto lane = [&] {
+    while (!halt.load(std::memory_order_relaxed) && !options.stop.stop_requested()) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      CellOutcome outcome;
+      try {
+        // Build the cell's token before on_start so timeouts measure from
+        // the instant the cell is picked up, fault hooks included.
+        const util::StopToken token =
+            options.cell_stop ? options.cell_stop(i) : options.stop;
+        if (options.on_start) options.on_start(i, token);
+        outcome.result = &run(policies[i], token);
+      } catch (...) {
+        outcome.error = std::current_exception();
+        if (!options.keep_going) halt.store(true, std::memory_order_relaxed);
+      }
+      outcomes[i] = outcome;  // each lane writes only its own slots
+      if (options.on_finish) {
+        const std::lock_guard<std::mutex> guard(finish_mutex);
+        options.on_finish(i, outcomes[i]);
+      }
+    }
+  };
+
+  // Same compound-task discipline as run_all: serial when nested in the pool.
+  if (jobs <= 1 || util::ThreadPool::in_pool_task()) {
+    lane();
+    return outcomes;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs);
+  for (std::size_t j = 0; j + 1 < jobs; ++j) futures.push_back(pool.submit(lane));
+  std::exception_ptr first_error;  // only on_finish can throw out of a lane
+  try {
+    lane();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return outcomes;
 }
 
 }  // namespace psched::sim

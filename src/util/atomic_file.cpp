@@ -1,0 +1,66 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace psched::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& step, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + step + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("fsync directory", dir);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open", tmp);
+
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write", tmp);
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename", path);
+  }
+  sync_parent_dir(path);
+}
+
+}  // namespace psched::util

@@ -1,0 +1,18 @@
+#pragma once
+// Durable whole-file replacement: write to a sibling temp file, fsync it,
+// rename() over the destination, fsync the directory. A reader (or a process
+// resuming after a crash) therefore sees either the previous complete file or
+// the new complete file — never a truncated or interleaved one. Used for
+// every results-store artifact (cells.csv, summary.json, BENCH_*.json).
+
+#include <string>
+#include <string_view>
+
+namespace psched::util {
+
+/// Atomically replace `path` with `contents`. Throws std::runtime_error with
+/// the failing step and errno text; on failure the destination is untouched
+/// (the temp file is unlinked best-effort).
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace psched::util

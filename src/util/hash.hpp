@@ -1,0 +1,52 @@
+#pragma once
+// FNV-1a 64-bit: a tiny, dependency-free, stable hash for content
+// fingerprints (workload identity, spec identity in the campaign journal).
+// Not cryptographic — it only needs to make accidental collisions between
+// *different inputs the user actually writes* vanishingly unlikely, and to be
+// bit-stable across platforms and runs so fingerprints can be persisted.
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+namespace psched::util {
+
+/// Incremental FNV-1a 64-bit hasher. mix() integral values by their
+/// little-endian byte patterns (fixed-width, so the stream is unambiguous);
+/// mix doubles via their bit pattern; mix strings length-prefixed so
+/// ("ab","c") and ("a","bc") hash differently.
+class Fnv1a {
+ public:
+  void mix_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T> || std::is_enum_v<T>>>
+  void mix(T value) {
+    const auto wide = static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
+    mix_bytes(&wide, sizeof(wide));
+  }
+
+  void mix(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix_bytes(&bits, sizeof(bits));
+  }
+
+  void mix(std::string_view text) {
+    mix(text.size());
+    mix_bytes(text.data(), text.size());
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
+};
+
+}  // namespace psched::util

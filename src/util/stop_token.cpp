@@ -1,0 +1,53 @@
+#include "util/stop_token.hpp"
+
+#include <chrono>
+
+namespace psched::util {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::None: return "none";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+bool StopToken::stop_requested() const {
+  for (const State* state = state_.get(); state != nullptr;
+       state = state->parent.state_.get()) {
+    if (state->requested.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = state->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline && steady_now_ns() >= deadline) return true;
+  }
+  return false;
+}
+
+StopReason StopToken::reason() const {
+  for (const State* state = state_.get(); state != nullptr;
+       state = state->parent.state_.get()) {
+    if (state->requested.load(std::memory_order_relaxed)) return StopReason::Cancelled;
+    const std::int64_t deadline = state->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline && steady_now_ns() >= deadline) return StopReason::Timeout;
+  }
+  return StopReason::None;
+}
+
+void StopSource::set_deadline_after(double seconds) {
+  const auto delta = static_cast<std::int64_t>(seconds * 1e9);
+  state_->deadline_ns.store(steady_now_ns() + delta, std::memory_order_relaxed);
+}
+
+}  // namespace psched::util

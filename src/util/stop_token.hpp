@@ -1,0 +1,72 @@
+#pragma once
+// Cooperative cancellation: a StopSource owns a stop request (an atomic flag
+// plus an optional wall-clock deadline) and hands out cheap StopToken views
+// that long-running loops poll at safe boundaries. No dependencies beyond
+// <atomic>/<chrono>, usable from a signal handler (request_stop is one atomic
+// store), and composable: a source built over a parent token also stops
+// whenever the parent does, which is how a per-cell timeout nests inside a
+// campaign-wide SIGINT / wall-budget stop.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace psched::util {
+
+/// Why a token reports stop_requested(). Cancelled = an explicit
+/// request_stop() (user interrupt, dependent failure); Timeout = a deadline
+/// passed. A chained token reports its own state first, its parent's second.
+enum class StopReason { None, Cancelled, Timeout };
+
+const char* stop_reason_name(StopReason reason);
+
+class StopSource;
+
+/// A read-only view of a StopSource. Default-constructed tokens are empty and
+/// never stop — the zero-cost "no cancellation" default for engine configs.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the source (or any ancestor) was stopped or timed out.
+  bool stop_requested() const;
+  /// StopReason::None until stop_requested(); then the nearest cause.
+  StopReason reason() const;
+
+ private:
+  friend class StopSource;
+  struct State;
+  explicit StopToken(std::shared_ptr<const State> state) : state_(std::move(state)) {}
+  std::shared_ptr<const State> state_;
+};
+
+struct StopToken::State {
+  std::atomic<bool> requested{false};
+  /// Deadline in steady-clock nanoseconds; max() = no deadline set.
+  std::atomic<std::int64_t> deadline_ns{std::numeric_limits<std::int64_t>::max()};
+  StopToken parent;  ///< empty for a root source
+};
+
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<StopToken::State>()) {}
+  /// A source that additionally stops whenever `parent` stops.
+  explicit StopSource(StopToken parent) : StopSource() { state_->parent = std::move(parent); }
+
+  /// Async-signal-safe (a single relaxed atomic store; the shared state is
+  /// owned by this source, so no allocation or locking happens here).
+  void request_stop() { state_->requested.store(true, std::memory_order_relaxed); }
+
+  /// Stop automatically once `seconds` of wall-clock time elapse from now.
+  void set_deadline_after(double seconds);
+
+  bool stop_requested() const { return token().stop_requested(); }
+  StopToken token() const { return StopToken(state_); }
+
+ private:
+  std::shared_ptr<StopToken::State> state_;
+};
+
+}  // namespace psched::util

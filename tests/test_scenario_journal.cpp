@@ -1,0 +1,382 @@
+// Crash-safe campaign store: journal write/replay round-trips, torn-tail
+// tolerance, corruption rejection with line numbers, duplicate last-wins —
+// and the campaign-level resume contract: a resumed run simulates only the
+// missing cells yet produces a byte-identical results store, failed cells
+// re-run, an edited spec is rejected, timeouts and stops become status rows.
+
+#include "scenario/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/campaign.hpp"
+#include "util/stop_token.hpp"
+
+namespace psched::scenario {
+namespace {
+
+const std::string kSourceDir = PSCHED_SOURCE_DIR;
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// RAII setenv for the PSCHED_FAULT_INJECT hook.
+struct ScopedEnv {
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(RoundTripDouble, ShortestRepresentationParsesBackExactly) {
+  for (const double value : {0.9, 0.1, 1.0 / 3.0, 29645.405555555557, 0.04670449078331398,
+                             1e-300, 123456789.123456789, -0.0, 2.5}) {
+    const std::string text = format_round_trip_double(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+  EXPECT_EQ(format_round_trip_double(0.9), "0.9");  // not 0.90000000000000002
+}
+
+TEST(Fingerprints, WorkloadContentChangesTheFingerprint) {
+  Workload a;
+  a.system_size = 64;
+  Job job;
+  job.runtime = 100;
+  job.wcl = 120;
+  job.submit = 5;
+  a.jobs = {job};
+  a.normalize();
+  Workload b = a;
+  const std::uint64_t fp_a = workload_fingerprint(a);
+  EXPECT_EQ(fp_a, workload_fingerprint(b));  // copies agree
+  b.jobs[0].runtime = 101;
+  EXPECT_NE(fp_a, workload_fingerprint(b));
+  Workload c = a;
+  c.system_size = 65;
+  EXPECT_NE(fp_a, workload_fingerprint(c));
+}
+
+TEST(Fingerprints, EverySemanticSpecFieldParticipates) {
+  ScenarioSpec spec;
+  spec.name = "fp";
+  spec.metrics = {"avg_wait"};
+  spec.policy_names = {"cons.nomax"};
+  const std::uint64_t base = spec_fingerprint(spec);
+  ScenarioSpec edited = spec;
+  edited.tolerance = spec.tolerance + 1;
+  EXPECT_NE(base, spec_fingerprint(edited));
+  edited = spec;
+  edited.metrics.push_back("utilization");
+  EXPECT_NE(base, spec_fingerprint(edited));
+  edited = spec;
+  edited.seeds = {1, 2};
+  EXPECT_NE(base, spec_fingerprint(edited));
+  edited = spec;
+  edited.grid.decay = {0.5};
+  EXPECT_NE(base, spec_fingerprint(edited));
+  EXPECT_EQ(base, spec_fingerprint(spec));  // and it is stable
+}
+
+JournalHeader test_header() {
+  JournalHeader header;
+  header.campaign = "journal_unit";
+  header.spec_fingerprint = 0xdeadbeefcafef00dull;
+  header.cells = 3;
+  return header;
+}
+
+TEST(CampaignJournal, WriteThenReplayRoundTrips) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal journal(path, test_header());
+    JournalCellRecord ok;
+    ok.key = "cell-a";
+    ok.index = 0;
+    ok.status = CellStatus::Ok;
+    ok.metrics = {0.1, 29645.405555555557, 1.0 / 3.0};
+    journal.record(ok);
+    JournalCellRecord failed;
+    failed.key = "cell-b";
+    failed.index = 1;
+    failed.status = CellStatus::Failed;
+    failed.error = "boom \"quoted\"\nsecond line\ttabbed";
+    journal.record(failed);
+  }
+  const JournalReplay replay = replay_journal(path);
+  EXPECT_EQ(replay.header.campaign, "journal_unit");
+  EXPECT_EQ(replay.header.spec_fingerprint, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(replay.header.cells, 3u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.records, 2u);
+  ASSERT_EQ(replay.cells.size(), 2u);
+  const JournalCellRecord& ok = replay.cells.at("cell-a");
+  EXPECT_EQ(ok.status, CellStatus::Ok);
+  ASSERT_EQ(ok.metrics.size(), 3u);
+  EXPECT_EQ(ok.metrics[0], 0.1);  // bit-exact through the round-trip format
+  EXPECT_EQ(ok.metrics[1], 29645.405555555557);
+  EXPECT_EQ(ok.metrics[2], 1.0 / 3.0);
+  const JournalCellRecord& failed = replay.cells.at("cell-b");
+  EXPECT_EQ(failed.status, CellStatus::Failed);
+  EXPECT_EQ(failed.error, "boom \"quoted\"\nsecond line\ttabbed");
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, TornFinalLineIsToleratedAndDropped) {
+  const std::string path = temp_path("journal_torn.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal journal(path, test_header());
+    JournalCellRecord ok;
+    ok.key = "cell-a";
+    ok.status = CellStatus::Ok;
+    ok.metrics = {1.0};
+    journal.record(ok);
+  }
+  // Crash mid-append: the final record is cut off without a newline.
+  std::ofstream(path, std::ios::binary | std::ios::app)
+      << "{\"kind\":\"cell\",\"key\":\"cell-b\",\"index\":1,\"status\":\"ok\",\"met";
+  const JournalReplay replay = replay_journal(path);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.records, 1u);  // the torn record is simply not there
+  EXPECT_EQ(replay.cells.count("cell-b"), 0u);
+  EXPECT_EQ(replay.cells.count("cell-a"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, MidFileCorruptionIsRejectedWithItsLineNumber) {
+  const std::string path = temp_path("journal_corrupt.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal journal(path, test_header());
+    JournalCellRecord ok;
+    ok.key = "cell-a";
+    ok.status = CellStatus::Ok;
+    ok.metrics = {1.0};
+    journal.record(ok);
+    ok.key = "cell-b";
+    journal.record(ok);
+  }
+  // Flip bytes in the middle record (line 2 of 3) — a torn line anywhere but
+  // the tail is not a crash signature, it is corruption.
+  std::string contents = slurp(path);
+  const std::size_t first_newline = contents.find('\n');
+  contents.replace(first_newline + 1, 10, "XXXXXXXXXX");
+  spit(path, contents);
+  try {
+    replay_journal(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(path + ":2"), std::string::npos) << error.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, DuplicateKeysLastRecordWins) {
+  const std::string path = temp_path("journal_dupes.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal journal(path, test_header());
+    JournalCellRecord record;
+    record.key = "cell-a";
+    record.status = CellStatus::Failed;
+    record.error = "first attempt";
+    journal.record(record);
+    record.status = CellStatus::Ok;
+    record.error.clear();
+    record.metrics = {42.0};
+    journal.record(record);  // the re-run after --resume
+  }
+  const JournalReplay replay = replay_journal(path);
+  EXPECT_EQ(replay.records, 2u);  // both counted...
+  ASSERT_EQ(replay.cells.size(), 1u);  // ...one key
+  EXPECT_EQ(replay.cells.at("cell-a").status, CellStatus::Ok);
+  ASSERT_EQ(replay.cells.at("cell-a").metrics.size(), 1u);
+  EXPECT_EQ(replay.cells.at("cell-a").metrics[0], 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, MissingHeaderIsRejected) {
+  const std::string path = temp_path("journal_headerless.jsonl");
+  spit(path, "{\"kind\":\"cell\",\"key\":\"x\",\"index\":0,\"status\":\"ok\",\"metrics\":[1]}\n");
+  EXPECT_THROW(replay_journal(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(replay_journal(path), std::runtime_error);  // missing file too
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level resume contract, on the committed ~200-job SWF sample.
+
+ScenarioSpec smoke_spec() {
+  std::istringstream in(
+      "[campaign]\n"
+      "name = journal_campaign\n"
+      "metrics = avg_wait, avg_turnaround, utilization\n"
+      "[workload]\n"
+      "source = swf\n"
+      "file = " + kSourceDir + "/tests/data/sample_cplant.swf\n"
+      "[policies]\n"
+      "names = cplant24.nomax.all, cons.nomax\n");
+  return parse_spec(in, "journal_test.spec");
+}
+
+std::string csv_of(const CampaignResult& result) {
+  std::ostringstream out;
+  write_cells_csv(result, out);
+  return out.str();
+}
+
+std::string json_of(const CampaignResult& result) {
+  std::ostringstream out;
+  write_summary_json(result, out);
+  return out.str();
+}
+
+TEST(CampaignResume, FreshRunJournalsEveryCellAndResumeSimulatesNothing) {
+  const std::string journal = temp_path("campaign_fresh.jsonl");
+  std::remove(journal.c_str());
+  const ScenarioSpec spec = smoke_spec();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = journal;
+  const CampaignResult fresh = run_campaign(spec, options);
+  EXPECT_EQ(fresh.simulated_cells, 2u);
+  EXPECT_EQ(fresh.restored_cells, 0u);
+  EXPECT_EQ(fresh.count(CellStatus::Ok), 2u);
+  EXPECT_TRUE(fresh.reports_complete);
+  EXPECT_EQ(replay_journal(journal).records, 2u);
+
+  options.resume = true;
+  const CampaignResult resumed = run_campaign(spec, options);
+  EXPECT_EQ(resumed.simulated_cells, 0u);  // nothing left to do
+  EXPECT_EQ(resumed.restored_cells, 2u);
+  EXPECT_EQ(resumed.replayed_records, 2u);
+  EXPECT_FALSE(resumed.reports_complete);  // restored cells carry no report
+  EXPECT_EQ(csv_of(resumed), csv_of(fresh));
+  EXPECT_EQ(json_of(resumed), json_of(fresh));
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignResume, FailedCellRerunsAndTheStoreMatchesACleanRunByteForByte) {
+  const ScenarioSpec spec = smoke_spec();
+  CampaignOptions clean_options;
+  clean_options.jobs = 1;
+  const CampaignResult clean = run_campaign(spec, clean_options);
+
+  const std::string journal = temp_path("campaign_rerun.jsonl");
+  std::remove(journal.c_str());
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = journal;
+  {
+    const ScopedEnv fault("PSCHED_FAULT_INJECT", "cell:0:throw");
+    const CampaignResult faulted = run_campaign(spec, options);
+    EXPECT_EQ(faulted.cells[0].status, CellStatus::Failed);
+    EXPECT_NE(faulted.cells[0].error.find("injected fault"), std::string::npos);
+    // Fault isolation: the sibling cell's row is byte-identical to the
+    // clean run's (compare the CSV line for cell 1).
+    const std::string clean_csv = csv_of(clean);
+    const std::string fault_csv = csv_of(faulted);
+    const std::string clean_row = clean_csv.substr(clean_csv.find("\n1,"));
+    EXPECT_EQ(fault_csv.substr(fault_csv.find("\n1,")), clean_row);
+  }
+  // Resume without the fault: only the failed cell re-runs (last record
+  // wins in the journal), and the store now matches a clean run exactly.
+  options.resume = true;
+  const CampaignResult resumed = run_campaign(spec, options);
+  EXPECT_EQ(resumed.replayed_records, 2u);
+  EXPECT_EQ(resumed.restored_cells, 1u);
+  EXPECT_EQ(resumed.simulated_cells, 1u);
+  EXPECT_EQ(csv_of(resumed), csv_of(clean));
+  EXPECT_EQ(json_of(resumed), json_of(clean));
+  const JournalReplay replay = replay_journal(journal);
+  EXPECT_EQ(replay.records, 3u);  // failed + ok + re-run appended
+  EXPECT_EQ(replay.cells.size(), 2u);
+  for (const auto& [key, record] : replay.cells) EXPECT_EQ(record.status, CellStatus::Ok) << key;
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignResume, EditedSpecIsRejectedByFingerprint) {
+  const std::string journal = temp_path("campaign_edited.jsonl");
+  std::remove(journal.c_str());
+  const ScenarioSpec spec = smoke_spec();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = journal;
+  run_campaign(spec, options);
+
+  ScenarioSpec edited = spec;
+  edited.tolerance += hours(1);  // changes every cell's numbers
+  options.resume = true;
+  try {
+    run_campaign(edited, options);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("fingerprint"), std::string::npos) << error.what();
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignResume, ResumeRequiresAJournal) {
+  CampaignOptions options;
+  options.resume = true;
+  EXPECT_THROW(run_campaign(smoke_spec(), options), std::runtime_error);  // no path
+  options.journal_path = temp_path("campaign_never_written.jsonl");
+  std::remove(options.journal_path.c_str());
+  EXPECT_THROW(run_campaign(smoke_spec(), options), std::runtime_error);  // no file
+}
+
+TEST(CampaignRobustness, HangingCellTimesOutAndBecomesAStatusRow) {
+  const ScopedEnv fault("PSCHED_FAULT_INJECT", "cell:1:hang");
+  CampaignOptions options;
+  options.jobs = 1;
+  options.cell_timeout = 0.05;
+  const CampaignResult result = run_campaign(smoke_spec(), options);
+  EXPECT_EQ(result.cells[0].status, CellStatus::Ok);
+  EXPECT_EQ(result.cells[1].status, CellStatus::Timeout);
+  EXPECT_FALSE(result.interrupted);  // a slow cell is not an interrupted run
+  EXPECT_NE(json_of(result).find("\"timeout\": 1"), std::string::npos);
+  EXPECT_NE(csv_of(result).find(",timeout,"), std::string::npos);
+}
+
+TEST(CampaignRobustness, PreTrippedStopLeavesEverythingPendingAndInterrupted) {
+  util::StopSource stop;
+  stop.request_stop();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.stop = stop.token();
+  const CampaignResult result = run_campaign(smoke_spec(), options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.simulated_cells, 0u);
+  EXPECT_EQ(result.count(CellStatus::Pending), result.cells.size());
+  EXPECT_NE(json_of(result).find("\"status\": \"interrupted\""), std::string::npos);
+}
+
+TEST(CampaignRobustness, HaltAfterFirstFailureWhenNotKeepingGoing) {
+  const ScopedEnv fault("PSCHED_FAULT_INJECT", "cell:0:throw");
+  CampaignOptions options;
+  options.jobs = 1;
+  options.keep_going = false;
+  const CampaignResult result = run_campaign(smoke_spec(), options);
+  EXPECT_EQ(result.cells[0].status, CellStatus::Failed);
+  EXPECT_EQ(result.cells[1].status, CellStatus::Pending);
+  EXPECT_FALSE(result.interrupted);  // completed (badly), not stopped
+}
+
+}  // namespace
+}  // namespace psched::scenario

@@ -111,5 +111,43 @@ TEST(EngineEdge, EngineStateVisibleThroughContext) {
   EXPECT_TRUE(engine.running().empty());
 }
 
+TEST(EngineCancellation, PreTrippedTokenStopsBeforeTheFirstEvent) {
+  const Workload w = make_workload(8, {make_job(0, 100, 3)});
+  util::StopSource stop;
+  stop.request_stop();
+  EngineConfig config;
+  config.stop = stop.token();
+  try {
+    simulate(w, config);
+    FAIL() << "expected SimulationCancelled";
+  } catch (const SimulationCancelled& cancelled) {
+    EXPECT_EQ(cancelled.reason(), util::StopReason::Cancelled);
+  }
+}
+
+TEST(EngineCancellation, ExpiredDeadlineSurfacesAsTimeout) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 16; ++i) jobs.push_back(make_job(i * 10, 60, 1, i % 4));
+  const Workload w = make_workload(4, jobs);
+  util::StopSource stop;
+  stop.set_deadline_after(0.0);  // already past by the first poll
+  EngineConfig config;
+  config.stop = stop.token();
+  try {
+    simulate(w, config);
+    FAIL() << "expected SimulationCancelled";
+  } catch (const SimulationCancelled& cancelled) {
+    EXPECT_EQ(cancelled.reason(), util::StopReason::Timeout);
+  }
+}
+
+TEST(EngineCancellation, EmptyTokenCostsNothingAndNeverCancels) {
+  const Workload w = make_workload(8, {make_job(0, 100, 3), make_job(5, 50, 2)});
+  EngineConfig config;
+  ASSERT_FALSE(config.stop.valid());  // the default: no cancellation wired
+  const SimulationResult r = simulate(w, config);
+  EXPECT_EQ(r.records.size(), 2u);
+}
+
 }  // namespace
 }  // namespace psched::sim

@@ -183,6 +183,106 @@ TEST(ExperimentRunner, BrokenConfigErrorIsCachedAndRethrown) {
   EXPECT_THROW(runner.run_all({broken}, 2), std::invalid_argument);
 }
 
+// Failed flights are evictable: a cancellation must not poison the config
+// for the rest of the process — the next fresh call retries and succeeds.
+// This is what --resume and --keep-going re-runs rely on.
+TEST(ExperimentRunner, TransientFailureIsEvictedAndARetrySucceeds) {
+  const Workload w = psched::workload::generate_small_workload(37, 40, 16, days(1));
+  ExperimentRunner runner(w);
+  const PolicyConfig policy = paper_policy(PaperPolicy::ConsNomax);
+  util::StopSource stop;
+  stop.request_stop();
+  EXPECT_THROW(runner.run(policy, stop.token()), SimulationCancelled);
+  const ExperimentResult& retried = runner.run(policy);  // no token: retries
+  EXPECT_GT(retried.report.standard.avg_turnaround, 0.0);
+  EXPECT_EQ(&retried, &runner.run(policy));  // Done is terminal again
+}
+
+TEST(ExperimentRunner, RunAllSurfacesATrippedTokenAsCancellation) {
+  const Workload w = psched::workload::generate_small_workload(41, 40, 16, days(1));
+  ExperimentRunner runner(w);
+  util::StopSource stop;
+  stop.request_stop();
+  EXPECT_THROW(runner.run_all(all_paper_policies(), 2, stop.token()), SimulationCancelled);
+  // And the runner is still usable afterwards (no poisoned entries).
+  EXPECT_EQ(runner.run_all(all_paper_policies(), 2).size(), 9u);
+}
+
+// run_isolated: a failing cell yields an error outcome, the siblings still
+// produce results identical to an undisturbed sweep.
+TEST(ExperimentRunner, RunIsolatedContainsFailuresToTheirCell) {
+  const Workload w = psched::workload::generate_small_workload(43, 40, 16, days(1));
+  PolicyConfig broken;
+  broken.kind = PolicyKind::Depth;
+  broken.reservation_depth = 0;
+  const std::vector<PolicyConfig> policies = {paper_policy(PaperPolicy::Cplant24NomaxAll), broken,
+                                              paper_policy(PaperPolicy::ConsNomax)};
+
+  ExperimentRunner runner(w);
+  IsolatedRunOptions options;
+  options.jobs = 2;
+  const std::vector<CellOutcome> outcomes = runner.run_isolated(policies, options);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_NE(outcomes[0].result, nullptr);
+  EXPECT_EQ(outcomes[1].result, nullptr);
+  ASSERT_TRUE(outcomes[1].error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(outcomes[1].error), std::invalid_argument);
+  ASSERT_NE(outcomes[2].result, nullptr);
+
+  ExperimentRunner undisturbed(w);
+  expect_identical_report(outcomes[2].result->report,
+                          undisturbed.run(paper_policy(PaperPolicy::ConsNomax)).report);
+}
+
+TEST(ExperimentRunner, RunIsolatedHaltsAfterAFailureWhenNotKeepingGoing) {
+  const Workload w = psched::workload::generate_small_workload(47, 40, 16, days(1));
+  PolicyConfig broken;
+  broken.kind = PolicyKind::Depth;
+  broken.reservation_depth = 0;
+  ExperimentRunner runner(w);
+  IsolatedRunOptions options;
+  options.jobs = 1;  // serial, so the halt decision is deterministic
+  options.keep_going = false;
+  const std::vector<CellOutcome> outcomes =
+      runner.run_isolated({broken, paper_policy(PaperPolicy::ConsNomax)}, options);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].attempted());
+  EXPECT_FALSE(outcomes[1].attempted());  // never pulled
+}
+
+TEST(ExperimentRunner, RunIsolatedReportsEveryAttemptThroughOnFinish) {
+  const Workload w = psched::workload::generate_small_workload(53, 40, 16, days(1));
+  ExperimentRunner runner(w);
+  IsolatedRunOptions options;
+  options.jobs = 2;
+  std::vector<std::size_t> finished;  // on_finish is serialized by contract
+  options.on_finish = [&](std::size_t i, const CellOutcome& outcome) {
+    EXPECT_TRUE(outcome.attempted());
+    finished.push_back(i);
+  };
+  runner.run_isolated(all_paper_policies(), options);
+  EXPECT_EQ(finished.size(), 9u);
+}
+
+TEST(ExperimentRunner, RunIsolatedPerCellTokensCancelOnlyTheirCell) {
+  const Workload w = psched::workload::generate_small_workload(59, 40, 16, days(1));
+  ExperimentRunner runner(w);
+  IsolatedRunOptions options;
+  options.jobs = 1;
+  options.cell_stop = [](std::size_t i) {
+    util::StopSource source;
+    if (i == 0) source.request_stop();  // doom exactly the first cell
+    return source.token();
+  };
+  const std::vector<CellOutcome> outcomes = runner.run_isolated(
+      {paper_policy(PaperPolicy::Cplant24NomaxAll), paper_policy(PaperPolicy::ConsNomax)},
+      options);
+  EXPECT_EQ(outcomes[0].result, nullptr);
+  ASSERT_TRUE(outcomes[0].error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(outcomes[0].error), SimulationCancelled);
+  EXPECT_NE(outcomes[1].result, nullptr);  // sibling unaffected
+}
+
 TEST(PolicyFst, MatchesDirectSimulationForLastJob) {
   const Workload w = psched::workload::generate_small_workload(9, 60, 16, days(1));
   EngineConfig config;

@@ -1,0 +1,137 @@
+// Cooperative cancellation primitives and the durable-write helper: token
+// semantics (empty/requested/deadline/parent chaining, reason precedence)
+// and atomic_write_file's replace-in-place behavior.
+
+#include "util/stop_token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "util/atomic_file.hpp"
+
+namespace psched::util {
+namespace {
+
+TEST(StopToken, EmptyTokenNeverStops) {
+  const StopToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::None);
+}
+
+TEST(StopToken, RequestStopTripsEveryView) {
+  StopSource source;
+  const StopToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::Cancelled);
+  // Tokens handed out after the stop see it too.
+  EXPECT_TRUE(source.token().stop_requested());
+}
+
+TEST(StopToken, DeadlineTripsAsTimeout) {
+  StopSource source;
+  const StopToken token = source.token();
+  source.set_deadline_after(0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::Timeout);
+}
+
+TEST(StopToken, FutureDeadlineDoesNotStop) {
+  StopSource source;
+  source.set_deadline_after(3600.0);
+  EXPECT_FALSE(source.token().stop_requested());
+  EXPECT_EQ(source.token().reason(), StopReason::None);
+}
+
+TEST(StopToken, ExplicitStopOutranksAnExpiredDeadline) {
+  StopSource source;
+  source.set_deadline_after(0.0);
+  source.request_stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Both causes hold; the explicit request is the one reported (a user
+  // interrupt must not be relabelled a timeout).
+  EXPECT_EQ(source.token().reason(), StopReason::Cancelled);
+}
+
+TEST(StopToken, ChildStopsWhenParentStops) {
+  StopSource parent;
+  StopSource child(parent.token());
+  const StopToken token = child.token();
+  EXPECT_FALSE(token.stop_requested());
+  parent.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::Cancelled);
+}
+
+TEST(StopToken, ChildStopDoesNotPropagateUpward) {
+  StopSource parent;
+  StopSource child(parent.token());
+  child.request_stop();
+  EXPECT_TRUE(child.token().stop_requested());
+  EXPECT_FALSE(parent.token().stop_requested());
+}
+
+TEST(StopToken, ChildDeadlineDoesNotTouchParent) {
+  StopSource parent;
+  StopSource child(parent.token());
+  child.set_deadline_after(0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(child.token().stop_requested());
+  EXPECT_EQ(child.token().reason(), StopReason::Timeout);
+  EXPECT_FALSE(parent.token().stop_requested());
+}
+
+TEST(StopToken, GrandparentChainPropagates) {
+  StopSource root;
+  StopSource mid(root.token());
+  StopSource leaf(mid.token());
+  root.request_stop();
+  EXPECT_TRUE(leaf.token().stop_requested());
+  EXPECT_EQ(leaf.token().reason(), StopReason::Cancelled);
+}
+
+TEST(StopToken, TokenOutlivesItsSource) {
+  StopToken token;
+  {
+    StopSource source;
+    token = source.token();
+    source.request_stop();
+  }
+  EXPECT_TRUE(token.stop_requested());  // shared state keeps the flag alive
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+TEST(AtomicWriteFile, WritesAndReplaces) {
+  const std::string path = testing::TempDir() + "atomic_write_test.txt";
+  atomic_write_file(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  // Replacing is atomic: the new content lands whole, the temp file is gone.
+  atomic_write_file(path, "second, longer content\n");
+  EXPECT_EQ(slurp(path), "second, longer content\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFile, MissingDirectoryThrowsWithPath) {
+  const std::string path = testing::TempDir() + "no_such_dir_psched/x.txt";
+  try {
+    atomic_write_file(path, "data");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos) << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace psched::util

@@ -1,33 +1,68 @@
 // psched_campaign: run a declarative scenario campaign end to end.
 //
 //   psched_campaign SPEC [options]
-//     --out DIR    write DIR/cells.csv (one row per simulated cell) and
-//                  DIR/summary.json (per-policy mean + bootstrap CI)
-//     --jobs N     concurrent simulations per policy sweep (default: global
-//                  pool size, env PSCHED_THREADS; 1 = serial; every output
-//                  is byte-identical for any N)
-//     --dry-run    parse the spec, print the expanded cell plan, and exit
-//     --csv        print stdout tables as CSV instead of aligned text
+//     --out DIR        write DIR/cells.csv (one row per cell), DIR/summary.json
+//                      (per-policy mean + bootstrap CI) and DIR/journal.jsonl
+//                      (append-only crash journal, one fsynced record per
+//                      finished cell)
+//     --jobs N         concurrent simulations per policy sweep (default:
+//                      global pool size, env PSCHED_THREADS; 1 = serial; every
+//                      output is byte-identical for any N)
+//     --resume         replay DIR/journal.jsonl: skip cells already journaled
+//                      ok, re-run failed/timed-out/cancelled ones; the final
+//                      results store is byte-identical to an uninterrupted run
+//     --cell-timeout S cancel any single cell after S seconds (timeout row)
+//     --wall-budget S  stop the whole campaign after S seconds (interrupted)
+//     --keep-going     keep scheduling cells after a failed cell (default:
+//                      halt; already-running cells still finish either way)
+//     --dry-run        parse the spec, print the expanded cell plan, and exit
+//     --csv            print stdout tables as CSV instead of aligned text
+//
+// SIGINT/SIGTERM request a cooperative stop: in-flight cells cancel at their
+// next event boundary, the journal is already durable, and a partial results
+// store marked "interrupted" is written. A second signal hard-exits (130).
+//
+// Exit codes: 0 every cell ok; 2 usage/spec/journal errors (nothing ran);
+// 3 campaign completed but some cells failed, timed out or were skipped;
+// 4 interrupted (signal or wall budget) — resume with --resume.
 //
 // A single-seed campaign additionally prints the standard fairness and
 // performance tables, so a spec mirroring a figure binary (same workload,
 // policies and seed — see examples/campaigns/fig14_all_policies.spec)
 // reproduces that binary's table bytes exactly.
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "metrics/report.hpp"
 #include "scenario/campaign.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace psched;
+
+/// Campaign-wide stop, tripped by SIGINT/SIGTERM or --wall-budget. A global
+/// so the signal handler can reach it; request_stop is a single relaxed
+/// atomic store and therefore async-signal-safe.
+util::StopSource g_stop;
+std::atomic<int> g_signals{0};
+
+extern "C" void on_stop_signal(int) {
+  if (g_signals.fetch_add(1, std::memory_order_relaxed) == 0)
+    g_stop.request_stop();  // first signal: cooperative stop + flushed store
+  else
+    _exit(130);  // second signal: the user really means it
+}
 
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "psched_campaign: " << message << "\n(run with --help for usage)\n";
@@ -37,11 +72,17 @@ using namespace psched;
 void print_usage() {
   std::cout <<
       "psched_campaign — declarative scenario campaigns (spec format: docs/campaign_specs.md)\n"
-      "  psched_campaign SPEC [--out DIR] [--jobs N] [--dry-run] [--csv]\n"
-      "  --out DIR    write DIR/cells.csv and DIR/summary.json\n"
-      "  --jobs N     concurrent simulations per sweep (1 = serial; output identical)\n"
-      "  --dry-run    print the expanded cell plan without simulating\n"
-      "  --csv        CSV tables on stdout\n";
+      "  psched_campaign SPEC [--out DIR] [--jobs N] [--resume] [--cell-timeout S]\n"
+      "                  [--wall-budget S] [--keep-going] [--dry-run] [--csv]\n"
+      "  --out DIR        write DIR/cells.csv, DIR/summary.json, DIR/journal.jsonl\n"
+      "  --jobs N         concurrent simulations per sweep (1 = serial; output identical)\n"
+      "  --resume         skip cells already journaled ok (requires --out)\n"
+      "  --cell-timeout S cancel a cell after S seconds -> timeout status row\n"
+      "  --wall-budget S  stop the campaign after S seconds -> interrupted store\n"
+      "  --keep-going     keep scheduling cells after a failure (default: halt)\n"
+      "  --dry-run        print the expanded cell plan without simulating\n"
+      "  --csv            CSV tables on stdout\n"
+      "exit codes: 0 all ok, 2 usage/spec error, 3 failed/skipped cells, 4 interrupted\n";
 }
 
 /// "3.1e-02 [2.8e-02, 3.4e-02]"-free: plain fixed numbers, mean first.
@@ -52,12 +93,24 @@ std::string ci_cell(const util::BootstrapCi& ci, std::size_t replicates) {
   return out;
 }
 
+double parse_seconds(const std::string& arg, const char* text) {
+  try {
+    const double value = std::stod(text);
+    if (value <= 0.0) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    fail(arg + " wants a positive number of seconds, got '" + std::string(text) + "'");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_dir;
-  std::size_t jobs = 0;
+  scenario::CampaignOptions options;
+  options.keep_going = false;
+  double wall_budget = 0.0;
   bool dry_run = false;
   bool csv = false;
 
@@ -75,7 +128,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const int parsed = std::atoi(next());
       if (parsed < 1) fail("--jobs must be >= 1");
-      jobs = static_cast<std::size_t>(parsed);
+      options.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--cell-timeout") {
+      options.cell_timeout = parse_seconds(arg, next());
+    } else if (arg == "--wall-budget") {
+      wall_budget = parse_seconds(arg, next());
+    } else if (arg == "--keep-going") {
+      options.keep_going = true;
     } else if (arg == "--dry-run") {
       dry_run = true;
     } else if (arg == "--csv") {
@@ -89,6 +150,7 @@ int main(int argc, char** argv) {
     }
   }
   if (spec_path.empty()) fail("no spec file given");
+  if (options.resume && out_dir.empty()) fail("--resume needs --out (the journal lives there)");
 
   scenario::ScenarioSpec spec;
   try {
@@ -115,14 +177,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  scenario::CampaignOptions options;
-  options.jobs = jobs;
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) fail("cannot create --out directory " + out_dir + ": " + ec.message());
+    options.journal_path = out_dir + "/journal.jsonl";
+  }
+  if (wall_budget > 0.0) g_stop.set_deadline_after(wall_budget);
+  options.stop = g_stop.token();
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+
   scenario::CampaignResult result;
   try {
     result = scenario::run_campaign(spec, options);
   } catch (const std::exception& error) {
+    // Spec/workload/journal problems surface here before any cell ran;
+    // per-cell failures never throw (they become status rows).
     std::cerr << "psched_campaign: " << error.what() << '\n';
-    return 1;
+    return 2;
   }
 
   for (const auto& trace : result.traces) {
@@ -135,10 +208,14 @@ int main(int argc, char** argv) {
               << result.swf_info->filtered_records << " non-completed\n"
               << "# machine: " << result.swf_info->describe_sizing() << '\n';
   }
+  if (options.resume)
+    std::cout << "# resume: replayed " << result.replayed_records << " journal records, restored "
+              << result.restored_cells << " cells, simulated " << result.simulated_cells << '\n';
 
-  // Figure-binary parity: a single-seed campaign is exactly one policy sweep,
-  // so print the same summary tables the exp_* binaries print.
-  if (plan.seeds.size() == 1) {
+  // Figure-binary parity: a single-seed, fully-simulated campaign is exactly
+  // one policy sweep, so print the same summary tables the exp_* binaries
+  // print. Restored or non-ok cells have no PolicyReport to tabulate.
+  if (plan.seeds.size() == 1 && result.reports_complete) {
     const util::TextTable fairness = metrics::fairness_summary_table(result.reports);
     const util::TextTable performance = metrics::performance_summary_table(result.reports);
     std::cout << "\n== fairness ==\n" << (csv ? fairness.csv() : fairness.str())
@@ -162,19 +239,49 @@ int main(int argc, char** argv) {
               << "% bootstrap CI] over " << plan.seeds.size() << " seeds";
   std::cout << ") ==\n" << (csv ? aggregates.csv() : aggregates.str());
 
+  const std::size_t failed = result.count(scenario::CellStatus::Failed);
+  const std::size_t timeout = result.count(scenario::CellStatus::Timeout);
+  const std::size_t cancelled = result.count(scenario::CellStatus::Cancelled);
+  const std::size_t pending = result.count(scenario::CellStatus::Pending);
+  if (failed + timeout + cancelled + pending > 0) {
+    std::cout << "\n# cells: " << result.count(scenario::CellStatus::Ok) << " ok";
+    if (failed) std::cout << ", " << failed << " failed";
+    if (timeout) std::cout << ", " << timeout << " timeout";
+    if (cancelled) std::cout << ", " << cancelled << " cancelled";
+    if (pending) std::cout << ", " << pending << " never started";
+    std::cout << '\n';
+    for (const scenario::CellResult& cell : result.cells)
+      if (!cell.error.empty())
+        std::cout << "#   cell " << cell.cell.index << " ("
+                  << cell.cell.policy.display_name() << "): "
+                  << scenario::cell_status_name(cell.status) << ": " << cell.error << '\n';
+  }
+  if (result.interrupted)
+    std::cout << "# campaign interrupted ("
+              << (g_signals.load(std::memory_order_relaxed) > 0 ? "signal" : "wall budget")
+              << ") — journal is durable, rerun with --resume to finish\n";
+
   if (!out_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(out_dir, ec);
-    if (ec) fail("cannot create --out directory " + out_dir + ": " + ec.message());
     const std::string cells_path = out_dir + "/cells.csv";
     const std::string summary_path = out_dir + "/summary.json";
-    std::ofstream cells(cells_path);
-    if (!cells) fail("cannot open " + cells_path);
-    scenario::write_cells_csv(result, cells);
-    std::ofstream summary(summary_path);
-    if (!summary) fail("cannot open " + summary_path);
-    scenario::write_summary_json(result, summary);
+    try {
+      // Atomic + durable: readers never observe a torn store, even if this
+      // very write races a crash. An interrupted run still writes a partial
+      // store (summary.json says "interrupted") on top of the journal.
+      std::ostringstream cells;
+      scenario::write_cells_csv(result, cells);
+      util::atomic_write_file(cells_path, cells.str());
+      std::ostringstream summary;
+      scenario::write_summary_json(result, summary);
+      util::atomic_write_file(summary_path, summary.str());
+    } catch (const std::exception& error) {
+      std::cerr << "psched_campaign: " << error.what() << '\n';
+      return 2;
+    }
     std::cout << "\n# wrote " << cells_path << " and " << summary_path << '\n';
   }
+
+  if (result.interrupted) return 4;
+  if (failed + timeout + cancelled + pending > 0) return 3;
   return 0;
 }

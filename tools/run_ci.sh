@@ -4,6 +4,9 @@
 #   2. compile-gate the opt-in experiment/example binaries
 #   3. a one-spec campaign smoke run (SWF replay of the committed sample
 #      trace), checked for a non-empty results store
+#   4. a kill-and-resume smoke: SIGKILL the campaign mid-cell (fault-injected
+#      hang), then --resume and require the results store to be byte-identical
+#      to the uninterrupted run in step 3
 #
 # Env knobs:
 #   PSCHED_CI_BUILD_DIR  tier-1 build directory (default build-ci)
@@ -26,9 +29,32 @@ echo "== experiments/examples compile gate =="
 
 echo "== campaign smoke run =="
 SMOKE_OUT="$BUILD/campaign-smoke"
+rm -rf "$SMOKE_OUT"
 "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec --out "$SMOKE_OUT" --jobs 1
 test -s "$SMOKE_OUT/cells.csv" && test -s "$SMOKE_OUT/summary.json"
 # Two policies on the sample trace -> header + 2 rows.
 test "$(wc -l < "$SMOKE_OUT/cells.csv")" -eq 3
+
+echo "== campaign kill-and-resume smoke =="
+# Hang the second cell, SIGKILL the process once the first cell's journal
+# record is durable, then resume without the fault: the journal must replay
+# and the final store must be byte-identical to the uninterrupted run above.
+RESUME_OUT="$BUILD/campaign-resume-smoke"
+rm -rf "$RESUME_OUT"
+PSCHED_FAULT_INJECT=cell:1:hang \
+  "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec \
+  --out "$RESUME_OUT" --jobs 1 --keep-going >/dev/null 2>&1 &
+CAMPAIGN_PID=$!
+for _ in $(seq 1 300); do
+  [ "$(wc -l < "$RESUME_OUT/journal.jsonl" 2>/dev/null || echo 0)" -ge 2 ] && break
+  sleep 0.1
+done
+test "$(wc -l < "$RESUME_OUT/journal.jsonl")" -ge 2  # cell 0 made it to disk
+kill -9 "$CAMPAIGN_PID"
+wait "$CAMPAIGN_PID" 2>/dev/null || true
+"$BUILD"/psched_campaign examples/campaigns/swf_replay.spec \
+  --out "$RESUME_OUT" --jobs 1 --resume
+cmp "$SMOKE_OUT/cells.csv" "$RESUME_OUT/cells.csv"
+cmp "$SMOKE_OUT/summary.json" "$RESUME_OUT/summary.json"
 
 echo "CI green"

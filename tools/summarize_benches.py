@@ -7,6 +7,7 @@ Usage: summarize_benches.py OUT.json IN1.json [IN2.json ...]
 """
 
 import json
+import os
 import re
 import sys
 
@@ -72,9 +73,22 @@ def main():
         "cases": dict(sorted(cases.items())),
         "speedup_vs_reference": dict(sorted(speedups.items())),
     }
-    with open(out_path, "w") as f:
-        json.dump(summary, f, indent=2)
-        f.write("\n")
+    # Atomic + durable, mirroring util::atomic_write_file: a crash mid-write
+    # must never leave a torn baseline for the diff tooling to chew on.
+    tmp_path = f"{out_path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, out_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     print(f"wrote {out_path} ({len(cases)} cases, {len(speedups)} speedup pairs)")
 
 
