@@ -192,6 +192,8 @@ void write_swf(std::ostream& out, const Workload& workload, const std::string& c
 }
 
 void write_swf_file(const std::string& path, const Workload& workload, const std::string& comment) {
+  // psched-lint: allow(raw-file-write): trace export utility, not a campaign
+  // results store — the caller owns the path and durability expectations
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_swf_file: cannot open " + path);
   write_swf(out, workload, comment);

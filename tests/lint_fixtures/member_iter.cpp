@@ -1,0 +1,11 @@
+// Fixture: iterates a container whose unordered-ness is only visible in the
+// sibling header — the cross-file case conservative_scheduler.cpp lives in.
+#include "member_iter.hpp"
+
+void UsageTable::add(const std::string& user, double usage) { usage_[user] += usage; }
+
+double UsageTable::total() const {
+  double sum = 0.0;
+  for (const auto& entry : usage_) sum += entry.second;  // line 9: FP order varies
+  return sum;
+}

@@ -1,0 +1,14 @@
+// Fixture header: the unordered member is declared here; the iteration lives
+// in member_iter.cpp. The linter must see through the .cpp/.hpp pairing.
+#pragma once
+#include <string>
+#include <unordered_map>
+
+class UsageTable {
+ public:
+  void add(const std::string& user, double usage);
+  double total() const;
+
+ private:
+  std::unordered_map<std::string, double> usage_;
+};

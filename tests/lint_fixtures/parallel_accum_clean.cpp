@@ -1,0 +1,28 @@
+// Fixture: compliant twin — parallel lambdas write per-index slots only; the
+// reduction runs serially afterwards (and serial compound assignment is fine).
+#include <cstddef>
+#include <vector>
+
+namespace util {
+void parallel_for(std::size_t n, const void* fn);
+}
+
+double sweep(const double* values, std::size_t n) {
+  std::vector<double> slots(n, 0.0);
+  const auto compute_one = [&](std::size_t i) {
+    slots[i] = values[i] * 2.0;  // per-index write: deterministic at any --jobs
+  };
+  util::parallel_for(n, &compute_one);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += slots[i];  // serial reduction
+  return total;
+}
+
+// A lambda that accumulates but is never handed to the pool is serial code.
+double serial_lambda(const std::vector<double>& values) {
+  double total = 0.0;
+  const auto accumulate = [&](double v) { total += v; };
+  for (double v : values) accumulate(v);
+  return total;
+}

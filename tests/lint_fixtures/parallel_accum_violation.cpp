@@ -1,0 +1,25 @@
+// Fixture: the serial-reduction contract. A named lambda with compound
+// accumulation handed to parallel_for, and an inline submit lambda doing the
+// same — both are either data races or nondeterministic FP reduction orders.
+#include <cstddef>
+
+namespace util {
+void parallel_for(std::size_t n, const void* fn);
+struct Pool {
+  void submit(const void* fn);
+};
+}  // namespace util
+
+double sweep(const double* values, std::size_t n, util::Pool& pool) {
+  double total = 0.0;
+  const auto accumulate = [&](std::size_t i) {
+    total += values[i];  // line 16: racy FP accumulation
+  };
+  util::parallel_for(n, &accumulate);
+
+  double other = 0.0;
+  pool.submit([&] {
+    other *= 2.0;  // line 22: compound assignment in a submit lambda
+  });
+  return total + other;
+}

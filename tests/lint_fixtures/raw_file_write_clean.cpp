@@ -1,0 +1,25 @@
+// Fixture: compliant twin — reads are unrestricted, writes go through the
+// durability layer.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace util {
+void atomic_write_file(const std::string& path, const std::string& contents);
+}
+
+std::string read_back(const std::string& path) {
+  std::ifstream in(path);  // reading is fine
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_results(const std::string& path, const std::string& body) {
+  util::atomic_write_file(path, body);  // tmp + fsync + rename
+}
+
+struct Store {
+  bool open_for_business = false;  // 'open' as an identifier is not ::open()
+  void open(const std::string&) {}
+};

@@ -1,0 +1,20 @@
+// Fixture: raw write paths a crash can tear — all three spellings.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+int fd_open(const char* path);
+
+void write_results(const std::string& path) {
+  std::ofstream out(path);  // line 9: plain ofstream
+  out << "cells\n";
+}
+
+void write_c(const char* path) {
+  FILE* f = fopen(path, "w");  // line 14: fopen
+  if (f != nullptr) fclose(f);
+}
+
+int write_fd(const char* path) {
+  return ::open(path, 1);  // line 19: raw ::open
+}

@@ -1,0 +1,15 @@
+// Fixture: the compliant twin of raw_rng_violation.cpp. Seeded engines and
+// util::Rng are the sanctioned forms.
+#include <random>
+
+#include "util/rng.hpp"
+
+double draw(psched::util::Rng& rng) { return rng.uniform01(); }
+
+double seeded_draw(unsigned long seed) {
+  std::mt19937_64 gen(seed);  // explicitly seeded: reproducible, allowed
+  std::mt19937 curly{seed};   // brace-seeded: allowed
+  return static_cast<double>(gen() + curly());
+}
+
+psched::util::Rng forked(const psched::util::Rng& parent) { return parent.fork(7); }

@@ -1,0 +1,18 @@
+// Fixture: every banned randomness source. Never compiled — scanned by
+// tests/test_lint.cpp.
+#include <random>
+
+int entropy() {
+  return rand() % 6;  // line 6: C rand()
+}
+
+unsigned hardware_seed() {
+  std::random_device device;  // line 10: nondeterministic device
+  return device();
+}
+
+double unseeded_draw() {
+  std::mt19937 gen;  // line 15: unseeded engine
+  std::mt19937_64 wide;  // line 16: unseeded engine
+  return static_cast<double>(gen() + wide());
+}

@@ -1,0 +1,29 @@
+// Fixture: compliant twin — the override is present; classes deriving from
+// other bases (including SchedulerContext) are out of the rule's scope.
+#include <memory>
+#include <string>
+
+struct Scheduler {
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<Scheduler> clone() const { return nullptr; }
+};
+
+struct SchedulerContext {
+  virtual ~SchedulerContext() = default;
+};
+
+class GreedyWithClone final : public Scheduler {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::unique_ptr<Scheduler> clone() const override {
+    return std::make_unique<GreedyWithClone>(*this);
+  }
+};
+
+class FakeContext final : public SchedulerContext {};  // context, not a policy
+
+class Unrelated {  // no base clause at all
+ public:
+  int clone_count = 0;
+};

@@ -1,0 +1,15 @@
+// Fixture: a policy without the clone() override silently loses fork support
+// (the engine's fork_for_arrival would get the nullptr default).
+#include <memory>
+#include <string>
+
+struct Scheduler {
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<Scheduler> clone() const { return nullptr; }
+};
+
+class GreedyNoClone final : public Scheduler {  // line 12: missing clone()
+ public:
+  std::string name() const override { return "greedy"; }
+};

@@ -1,0 +1,10 @@
+// Fixture: mirrors the sanctioned path suffix src/util/rng.cpp — the one
+// file allowed to touch <random> directly. Everything here must be exempt.
+#include <random>
+
+unsigned sanctioned_entropy() {
+  std::random_device device;
+  std::mt19937_64 engine;
+  engine.seed(device());
+  return static_cast<unsigned>(engine());
+}

@@ -1,0 +1,16 @@
+// Fixture: every violation here carries a well-formed suppression with a
+// reason — the file must lint clean. Exercises both placements.
+#include <cstdio>
+#include <unordered_map>
+
+double count_all(const std::unordered_map<int, double>& table) {
+  double n = 0.0;
+  // Own-line form: applies to the next line carrying code.
+  // psched-lint: allow(unordered-iter): order-insensitive count, result does not depend on order
+  for (const auto& entry : table) n += entry.first >= 0 ? 1.0 : 0.0;
+  return n;
+}
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // psched-lint: allow(wall-clock): log banner only, never feeds results
+}

@@ -1,0 +1,12 @@
+// Fixture: a suppression without a reason is rejected — it must surface as a
+// bad-suppression finding AND leave the underlying violation unsuppressed.
+#include <ctime>
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // psched-lint: allow(wall-clock)
+}
+
+long stamp2() {
+  // psched-lint: allow(wall-clock):
+  return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,7 @@
+// Fixture: allow() naming a rule that does not exist — typos must fail
+// loudly instead of silently suppressing nothing.
+#include <ctime>
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // psched-lint: allow(wallclock): typo in the rule name
+}

@@ -1,0 +1,18 @@
+// Fixture: compliant twin — keyed lookups are fine, and iteration happens
+// over a sorted key vector, never over the table itself.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+void dump(const std::unordered_map<int, double>& usage, std::vector<int> keys) {
+  std::sort(keys.begin(), keys.end());
+  for (const int key : keys) {  // deterministic: sorted keys drive the order
+    const auto it = usage.find(key);
+    if (it != usage.end()) std::printf("%d %f\n", key, it->second);
+  }
+}
+
+bool contains(const std::unordered_map<int, double>& usage, int key) {
+  return usage.count(key) != 0;  // point lookup, no iteration
+}

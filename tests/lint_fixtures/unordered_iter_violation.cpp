@@ -1,0 +1,16 @@
+// Fixture: iterating unordered containers straight into output order.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void dump(const std::unordered_map<int, double>& usage) {
+  for (const auto& entry : usage) {  // line 8: nondeterministic order
+    std::printf("%d %f\n", entry.first, entry.second);
+  }
+}
+
+double first_weight(const std::unordered_set<std::string>& seen) {
+  auto it = seen.begin();  // line 14: first element depends on hashing
+  return it->size();
+}

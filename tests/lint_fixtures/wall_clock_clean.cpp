@@ -1,0 +1,19 @@
+// Fixture: compliant twin — durations and simulation time are fine; only
+// clock *reads* are contract violations.
+#include <chrono>
+
+long two_seconds() { return std::chrono::milliseconds(2000).count(); }
+
+struct FakeEngine {
+  long now_ = 0;
+  long now() const { return now_; }  // simulation time: the only time
+};
+
+long simulated(const FakeEngine& engine) { return engine.now(); }
+
+// Members named like the C functions are not clock reads.
+struct Item {
+  long time_ = 0;
+  long time() const { return time_; }
+};
+long member_access(const Item& item) { return item.time(); }

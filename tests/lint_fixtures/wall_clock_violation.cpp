@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads that would make results depend on host time.
+#include <chrono>
+#include <ctime>
+
+long now_ns() {
+  const auto stamp = std::chrono::system_clock::now();  // line 6: system_clock
+  return stamp.time_since_epoch().count();
+}
+
+long unix_seconds() {
+  return static_cast<long>(time(nullptr));  // line 11: C time()
+}
+
+long monotonic() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // line 15
+}

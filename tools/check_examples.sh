@@ -13,7 +13,9 @@ cd "$(dirname "$0")/.."
 
 BUILD="${PSCHED_EXAMPLES_BUILD_DIR:-build-exp}"
 
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+# -Werror is the default, but pin it explicitly: the opt-in exp_*/abl_*
+# binaries are exactly the ones that rot behind warnings nobody sees.
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DPSCHED_WERROR=ON \
   -DPSCHED_BUILD_EXPERIMENTS=ON -DPSCHED_BUILD_BENCH=OFF >/dev/null
 cmake --build "$BUILD" -j "$(nproc)"
-echo "examples + experiments compile clean ($BUILD)"
+echo "examples + experiments compile clean under -Werror ($BUILD)"

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# The whole CI gate in one script, runnable locally or from the workflow:
-#   1. tier-1: configure + build + ctest (the correctness contract)
-#   2. compile-gate the opt-in experiment/example binaries
-#   3. a one-spec campaign smoke run (SWF replay of the committed sample
-#      trace), checked for a non-empty results store
-#   4. a kill-and-resume smoke: SIGKILL the campaign mid-cell (fault-injected
-#      hang), then --resume and require the results store to be byte-identical
-#      to the uninterrupted run in step 3
+# The whole CI gate in one script, runnable locally or from the workflow.
+#
+#   tools/run_ci.sh            tier-1 gate (default):
+#     1. configure + build (-Werror -Wshadow are on by default)
+#     2. psched-lint contract check over src/, tools/, bench/
+#     3. ctest (the correctness contract; includes the lint fixture tests)
+#     4. compile-gate the opt-in experiment/example binaries under -Werror
+#     5. a one-spec campaign smoke run (SWF replay of the committed sample
+#        trace), checked for a non-empty results store
+#     6. a kill-and-resume smoke: SIGKILL the campaign mid-cell (fault-
+#        injected hang), then --resume and require the results store to be
+#        byte-identical to the uninterrupted run in step 5
+#
+#   tools/run_ci.sh sanitize   the sanitizer matrix (a separate workflow job
+#     so tier-1 latency is unchanged): the FULL ctest suite under ASan and
+#     UBSan via tools/run_sanitize.sh. TSan stays available as
+#     tools/run_sanitize.sh thread (or the historical tools/run_tsan.sh).
+#
+#   tools/run_ci.sh all        both of the above.
 #
 # Env knobs:
 #   PSCHED_CI_BUILD_DIR  tier-1 build directory (default build-ci)
@@ -16,45 +27,75 @@ cd "$(dirname "$0")/.."
 
 BUILD="${PSCHED_CI_BUILD_DIR:-build-ci}"
 JOBS="${PSCHED_CI_JOBS:-$(nproc)}"
+STEP="${1:-tier1}"
 
-echo "== tier-1: configure + build =="
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j "$JOBS"
+run_sanitize_matrix() {
+  echo "== sanitize: ASan full suite =="
+  ./tools/run_sanitize.sh address
+  echo "== sanitize: UBSan full suite =="
+  ./tools/run_sanitize.sh undefined
+}
 
-echo "== tier-1: ctest =="
-ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+run_tier1() {
+  echo "== tier-1: configure + build (-Werror) =="
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" -j "$JOBS"
 
-echo "== experiments/examples compile gate =="
-./tools/check_examples.sh
+  echo "== psched-lint: contract check =="
+  "$BUILD"/psched_lint --root .
 
-echo "== campaign smoke run =="
-SMOKE_OUT="$BUILD/campaign-smoke"
-rm -rf "$SMOKE_OUT"
-"$BUILD"/psched_campaign examples/campaigns/swf_replay.spec --out "$SMOKE_OUT" --jobs 1
-test -s "$SMOKE_OUT/cells.csv" && test -s "$SMOKE_OUT/summary.json"
-# Two policies on the sample trace -> header + 2 rows.
-test "$(wc -l < "$SMOKE_OUT/cells.csv")" -eq 3
+  echo "== tier-1: ctest =="
+  ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
-echo "== campaign kill-and-resume smoke =="
-# Hang the second cell, SIGKILL the process once the first cell's journal
-# record is durable, then resume without the fault: the journal must replay
-# and the final store must be byte-identical to the uninterrupted run above.
-RESUME_OUT="$BUILD/campaign-resume-smoke"
-rm -rf "$RESUME_OUT"
-PSCHED_FAULT_INJECT=cell:1:hang \
+  echo "== experiments/examples compile gate =="
+  ./tools/check_examples.sh
+
+  echo "== campaign smoke run =="
+  SMOKE_OUT="$BUILD/campaign-smoke"
+  rm -rf "$SMOKE_OUT"
+  "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec --out "$SMOKE_OUT" --jobs 1
+  test -s "$SMOKE_OUT/cells.csv" && test -s "$SMOKE_OUT/summary.json"
+  # Two policies on the sample trace -> header + 2 rows.
+  test "$(wc -l < "$SMOKE_OUT/cells.csv")" -eq 3
+
+  echo "== campaign kill-and-resume smoke =="
+  # Hang the second cell, SIGKILL the process once the first cell's journal
+  # record is durable, then resume without the fault: the journal must replay
+  # and the final store must be byte-identical to the uninterrupted run above.
+  RESUME_OUT="$BUILD/campaign-resume-smoke"
+  rm -rf "$RESUME_OUT"
+  PSCHED_FAULT_INJECT=cell:1:hang \
+    "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec \
+    --out "$RESUME_OUT" --jobs 1 --keep-going >/dev/null 2>&1 &
+  CAMPAIGN_PID=$!
+  for _ in $(seq 1 300); do
+    [ "$(wc -l < "$RESUME_OUT/journal.jsonl" 2>/dev/null || echo 0)" -ge 2 ] && break
+    sleep 0.1
+  done
+  test "$(wc -l < "$RESUME_OUT/journal.jsonl")" -ge 2  # cell 0 made it to disk
+  kill -9 "$CAMPAIGN_PID"
+  wait "$CAMPAIGN_PID" 2>/dev/null || true
   "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec \
-  --out "$RESUME_OUT" --jobs 1 --keep-going >/dev/null 2>&1 &
-CAMPAIGN_PID=$!
-for _ in $(seq 1 300); do
-  [ "$(wc -l < "$RESUME_OUT/journal.jsonl" 2>/dev/null || echo 0)" -ge 2 ] && break
-  sleep 0.1
-done
-test "$(wc -l < "$RESUME_OUT/journal.jsonl")" -ge 2  # cell 0 made it to disk
-kill -9 "$CAMPAIGN_PID"
-wait "$CAMPAIGN_PID" 2>/dev/null || true
-"$BUILD"/psched_campaign examples/campaigns/swf_replay.spec \
-  --out "$RESUME_OUT" --jobs 1 --resume
-cmp "$SMOKE_OUT/cells.csv" "$RESUME_OUT/cells.csv"
-cmp "$SMOKE_OUT/summary.json" "$RESUME_OUT/summary.json"
+    --out "$RESUME_OUT" --jobs 1 --resume
+  cmp "$SMOKE_OUT/cells.csv" "$RESUME_OUT/cells.csv"
+  cmp "$SMOKE_OUT/summary.json" "$RESUME_OUT/summary.json"
+}
 
-echo "CI green"
+case "$STEP" in
+  tier1)
+    run_tier1
+    ;;
+  sanitize)
+    run_sanitize_matrix
+    ;;
+  all)
+    run_tier1
+    run_sanitize_matrix
+    ;;
+  *)
+    echo "usage: $0 [tier1|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI green ($STEP)"

@@ -1,25 +1,14 @@
 #!/usr/bin/env bash
-# ThreadSanitizer pass over the concurrency-sensitive tests: the thread pool,
-# the parallel ExperimentRunner sweep (single-flight cache), the parallel FST
-# metric loops, and the forked-engine policy FST (PolicyFstFork.* drains
-# engine forks concurrently on the pool). Sibling of tools/run_benches.sh —
-# run it whenever the threading layers change; any data race fails the suite
-# loudly.
+# Historical entry point for the ThreadSanitizer gate — now a thin wrapper
+# over tools/run_sanitize.sh so all three sanitizer builds share one
+# build-dir/flag path. Runs the FULL ctest suite under TSan (the old script
+# only ran the concurrency-filtered subset).
 #
-# Env knobs:
+# Env knobs (kept for compatibility):
 #   PSCHED_TSAN_BUILD_DIR  build directory (default build-tsan)
-#   PSCHED_THREADS         pool size under test (default 4, so races surface
-#                          even on small machines)
+#   PSCHED_THREADS         pool size under test (default 4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD="${PSCHED_TSAN_BUILD_DIR:-build-tsan}"
-FILTER='ThreadPool.*:GlobalPool.*:ExperimentRunner.*:PolicyFst.*:PolicyFstFork.*:HybridFst.*'
-
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DPSCHED_SANITIZE=thread \
-  -DPSCHED_BUILD_BENCH=OFF >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target psched_tests
-
-PSCHED_THREADS="${PSCHED_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  "$BUILD/psched_tests" --gtest_filter="$FILTER"
-echo "tsan: clean ($FILTER)"
+PSCHED_SAN_BUILD_DIR="${PSCHED_TSAN_BUILD_DIR:-build-tsan}" \
+  exec ./tools/run_sanitize.sh thread
