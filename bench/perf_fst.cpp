@@ -17,7 +17,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -124,12 +126,94 @@ void BM_PolicyFstForked(benchmark::State& state) {
   const sim::EngineConfig config = policy_fst_config();
   sim::PolicyFstOptions options;
   options.parallel = true;
+  sim::PolicyFstStats stats;
+  options.stats = &stats;
   for (auto _ : state)
     benchmark::DoNotOptimize(sim::policy_no_later_arrivals_fst(trace, config, options));
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.jobs.size()));
   record_pool_counters(state, /*parallel=*/true);
+  // Memory-bounding knobs, published into BENCH_fst.json: the fork batch cap
+  // the drain ran with and the peak summed fork footprint one batch admitted
+  // (deterministic for a given workload/config/batch).
+  state.counters["fork_batch"] = static_cast<double>(stats.fork_batch);
+  state.counters["peak_batch_bytes"] = static_cast<double>(stats.peak_batch_bytes);
 }
 BENCHMARK(BM_PolicyFstForked)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+// --- fork construction overhead: shared-view vs record-copy seed path -------
+
+// The O(i) -> O(1) fork claim, measured: one master pass forking at every
+// arrival and dropping the fork undrained, so an iteration costs the master
+// pass plus n fork constructions. Per-item time staying flat across
+// 1k/5k/50k-job traces is the claim — per-fork cost independent of the
+// arrival index — because a per-fork term growing with the index would bend
+// the per-item time linearly upward with trace length (exactly what the
+// record-copy reference below does).
+//
+// Unlike the policy-FST pair these traces must be SUBCRITICAL (20 jobs/day
+// ~ load 0.5 here, vs policy_fst_trace's ~2.4): fork cost is O(live queue),
+// so an oversaturated trace grows its queue with trace length and the trace
+// itself — not the fork — would bend the curve.
+const Workload& fork_overhead_trace(std::int64_t jobs) {
+  static std::map<std::int64_t, Workload> traces;
+  auto it = traces.find(jobs);
+  if (it == traces.end()) {
+    it = traces
+             .emplace(jobs, workload::generate_small_workload(
+                                9, static_cast<std::size_t>(jobs), 1024,
+                                days(std::max<std::int64_t>(1, jobs / 20))))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ForkOverheadShared(benchmark::State& state) {
+  const Workload& trace = fork_overhead_trace(state.range(0));
+  sim::EngineConfig config = policy_fst_config();
+  config.record_snapshots = false;
+  std::size_t peak_fork_bytes = 0;
+  for (auto _ : state) {
+    sim::SimulationEngine master(trace, config);
+    master.run_with_arrival_hook([&](JobId id) {
+      const std::unique_ptr<sim::SimulationEngine> fork = master.fork_for_arrival(id);
+      peak_fork_bytes = std::max(peak_fork_bytes, fork->fork_footprint_bytes());
+      benchmark::DoNotOptimize(fork.get());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.jobs.size()));
+  // Largest single-fork footprint seen: O(queue depth), NOT O(trace) — it
+  // must stay in the same ballpark across the three trace sizes.
+  state.counters["peak_fork_bytes"] = static_cast<double>(peak_fork_bytes);
+}
+BENCHMARK(BM_ForkOverheadShared)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// The seed's removed per-fork term, replayed in isolation: forking at arrival
+// i used to copy the master's (i + 1)-record prefix into the fork's record
+// table. Same prefix copies over an equal-size table; O(n^2) bytes total, so
+// single iterations and no 50k case (cf. BM_RefPolicyFstNaive's budget note).
+// summarize_benches.py pairs this with BM_ForkOverheadShared.
+void BM_RefForkOverheadRecordCopy(benchmark::State& state) {
+  const Workload& trace = fork_overhead_trace(state.range(0));
+  std::vector<JobRecord> master(trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) master[i].job = trace.jobs[i];
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < master.size(); ++i) {
+      const std::vector<JobRecord> fork_records(master.begin(),
+                                                master.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      benchmark::DoNotOptimize(fork_records.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.jobs.size()));
+}
+BENCHMARK(BM_RefForkOverheadRecordCopy)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 // The preserved seed path: one truncated re-simulation per job. Quadratic,
 // so it runs exactly one iteration per size (the 5k case alone is minutes of

@@ -69,8 +69,8 @@ const Workload& deep_burst_trace(std::size_t jobs) {
   auto it = cache.find(jobs);
   if (it == cache.end()) {
     util::Rng rng(7777);
-    Workload w;
-    w.system_size = 128;
+    WorkloadBuilder b;
+    b.system_size = 128;
     for (std::size_t i = 0; i < jobs; ++i) {
       Job job;
       job.id = static_cast<JobId>(i);
@@ -83,9 +83,10 @@ const Workload& deep_burst_trace(std::size_t jobs) {
       job.nodes = static_cast<NodeCount>(rng.uniform_int(1, 96));
       job.runtime = rng.uniform_int(120, 4000);
       job.wcl = job.runtime + rng.uniform_int(0, 2000);
-      w.jobs.push_back(job);
+      b.jobs.push_back(job);
     }
-    w.normalize();
+    b.normalize();
+    Workload w = b.build();
     w.validate();
     it = cache.emplace(jobs, std::move(w)).first;
   }

@@ -23,6 +23,28 @@ std::string validate_job(const Job& job, NodeCount system_size) {
   return problem.str();
 }
 
+const Job& JobSpan::at(std::size_t index) const {
+  if (index >= count_)
+    throw std::out_of_range("JobSpan::at: index " + std::to_string(index) + " >= size " +
+                            std::to_string(count_));
+  return data_[index];
+}
+
+Workload::Workload(std::vector<Job> jobs_in, NodeCount size)
+    : system_size(size),
+      storage_(std::make_shared<const std::vector<Job>>(std::move(jobs_in))) {
+  jobs = JobSpan(storage_->data(), storage_->size());
+}
+
+Workload Workload::truncate(std::size_t count) const {
+  if (count > jobs.size())
+    throw std::out_of_range("Workload::truncate: count " + std::to_string(count) + " > size " +
+                            std::to_string(jobs.size()));
+  Workload out = *this;  // shares storage_
+  out.jobs = JobSpan(jobs.begin(), count);
+  return out;
+}
+
 void Workload::validate() const {
   if (system_size <= 0) throw std::invalid_argument("Workload: system_size must be positive");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -38,13 +60,6 @@ void Workload::validate() const {
   }
 }
 
-void Workload::normalize() {
-  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
-    return a.submit < b.submit;
-  });
-  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
-}
-
 double Workload::total_proc_seconds() const {
   double total = 0.0;
   for (const Job& job : jobs) total += job.proc_seconds();
@@ -54,5 +69,16 @@ double Workload::total_proc_seconds() const {
 Time Workload::earliest_submit() const { return jobs.empty() ? kNoTime : jobs.front().submit; }
 
 Time Workload::latest_submit() const { return jobs.empty() ? kNoTime : jobs.back().submit; }
+
+WorkloadBuilder::WorkloadBuilder(const Workload& workload)
+    : jobs(workload.jobs.begin(), workload.jobs.end()), system_size(workload.system_size) {}
+
+void WorkloadBuilder::normalize() {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
+}
+
+Workload WorkloadBuilder::build() { return Workload(std::move(jobs), system_size); }
 
 }  // namespace psched

@@ -52,7 +52,7 @@ std::optional<Job> RuntimeLimiter::next_segment(const Job& original, const Job& 
 
 Workload split_workload(const Workload& original, Time max_runtime) {
   const RuntimeLimiter limiter(max_runtime);
-  Workload split;
+  WorkloadBuilder split;
   split.system_size = original.system_size;
   for (const Job& job : original.jobs) {
     const std::int32_t count = limiter.segment_count(job);
@@ -60,8 +60,9 @@ Workload split_workload(const Workload& original, Time max_runtime) {
       split.jobs.push_back(limiter.make_segment(job, s, /*id=*/0, job.submit));
   }
   split.normalize();
-  split.validate();
-  return split;
+  Workload built = split.build();
+  built.validate();
+  return built;
 }
 
 }  // namespace psched

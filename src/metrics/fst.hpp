@@ -19,6 +19,7 @@
 // estimates make conservative reservations final.
 
 #include <array>
+#include <cstddef>
 #include <vector>
 
 #include "core/categories.hpp"
@@ -48,6 +49,16 @@ struct FstOptions {
   FstKnowledge knowledge = FstKnowledge::Estimates;
   /// Compute per-snapshot FSTs on the global thread pool.
   bool parallel = true;
+  /// Also compute the policy-knowledge FST (Sabin/Sadayappan: re-run the
+  /// actual policy with no later arrivals, sim::policy_no_later_arrivals_fst)
+  /// and publish it as PolicyReport::policy_fairness. Needs the workload and
+  /// engine config, so only ExperimentRunner honors it — evaluate() alone
+  /// cannot and leaves the field empty. Requires max_runtime == kNoTime.
+  bool policy_knowledge = false;
+  /// Fork batch for the policy-knowledge FST (sim::PolicyFstOptions::
+  /// fork_batch): forks accumulated before a drain. 0 = the historical
+  /// automatic cap. Peak memory scales with batch x per-fork O(queue) state.
+  std::size_t fork_batch = 0;
 };
 
 struct FstResult {

@@ -17,6 +17,12 @@ struct PolicyReport {
   std::string policy;
   StandardMetrics standard;
   FstResult fairness;
+  /// The policy-knowledge FST (FstOptions::policy_knowledge), filled only by
+  /// ExperimentRunner — it needs the workload and engine config to re-run the
+  /// policy, which evaluate() does not have. Selecting a policy_* metric on a
+  /// report without it is a hard error, never a silent zero.
+  bool has_policy_fairness = false;
+  FstResult policy_fairness;
 };
 
 /// Compute both metric families (hybrid FST needs snapshots).

@@ -11,6 +11,17 @@ struct NamedMetric {
   double (*get)(const PolicyReport&);
 };
 
+// policy_* metrics read the forked-engine FST, which ExperimentRunner only
+// computes when FstOptions::policy_knowledge is set (the campaign sets it
+// whenever a policy_* metric is selected). A report without it means the
+// caller's wiring is wrong — fail loudly rather than aggregate zeros.
+const FstResult& policy_fst(const PolicyReport& report) {
+  if (!report.has_policy_fairness)
+    throw std::invalid_argument("metric_value: policy_* metric selected but the report has no "
+                                "policy-knowledge FST (FstOptions::policy_knowledge not set)");
+  return report.policy_fairness;
+}
+
 // Fairness first (the paper's headline quantities), then the standard
 // user/system metrics. makespan is integer seconds widened to double so every
 // selected metric aggregates the same way.
@@ -21,6 +32,13 @@ constexpr NamedMetric kCatalog[] = {
     {"avg_miss_all", [](const PolicyReport& r) { return r.fairness.avg_miss_all; }},
     {"avg_miss_unfair", [](const PolicyReport& r) { return r.fairness.avg_miss_unfair; }},
     {"max_miss", [](const PolicyReport& r) { return r.fairness.max_miss; }},
+    {"policy_percent_unfair", [](const PolicyReport& r) { return policy_fst(r).percent_unfair; }},
+    {"policy_percent_unfair_any",
+     [](const PolicyReport& r) { return policy_fst(r).percent_unfair_any; }},
+    {"policy_avg_miss_all", [](const PolicyReport& r) { return policy_fst(r).avg_miss_all; }},
+    {"policy_avg_miss_unfair",
+     [](const PolicyReport& r) { return policy_fst(r).avg_miss_unfair; }},
+    {"policy_max_miss", [](const PolicyReport& r) { return policy_fst(r).max_miss; }},
     {"job_count", [](const PolicyReport& r) { return static_cast<double>(r.standard.job_count); }},
     {"avg_wait", [](const PolicyReport& r) { return r.standard.avg_wait; }},
     {"avg_turnaround", [](const PolicyReport& r) { return r.standard.avg_turnaround; }},

@@ -161,21 +161,24 @@ CampaignPlan expand_campaign(const ScenarioSpec& spec) {
 }
 
 Workload build_workload(const WorkloadSpec& spec, std::uint64_t seed,
-                        workload::SwfReadResult* swf_info) {
+                        workload::SwfReadResult* swf_info, SwfReaderKind reader) {
   Workload trace;
+  bool head_applied = false;
   if (spec.source == WorkloadSpec::Source::Swf) {
     workload::SwfReadOptions options;
     if (spec.swf_accept_all_statuses) options.accepted_statuses.clear();
+    // The streaming reader takes the head cap inside the scan, bounding peak
+    // memory at O(head + chunk); the result (workload, counters, sizing) is
+    // byte-identical to eager read + head truncation, so the reader choice
+    // can never change a results store.
     workload::SwfReadResult read =
-        workload::read_swf_file(spec.swf_file, spec.system_size, options);
-    trace = std::move(read.workload);
-    if (swf_info != nullptr) {
-      *swf_info = std::move(read);
-      // The jobs moved into `trace`; keep the info struct lean but make
-      // describe_sizing() (which reads workload.system_size) still correct.
-      swf_info->workload.jobs.clear();
-      swf_info->workload.system_size = trace.system_size;
-    }
+        reader == SwfReaderKind::Streaming
+            ? workload::read_swf_file_streaming(spec.swf_file, spec.system_size, options,
+                                                spec.head)
+            : workload::read_swf_file(spec.swf_file, spec.system_size, options);
+    head_applied = reader == SwfReaderKind::Streaming;
+    trace = read.workload;  // a view bump: the job table stays shared
+    if (swf_info != nullptr) *swf_info = std::move(read);
   } else {
     workload::GeneratorConfig generator;
     generator.seed = seed;
@@ -189,7 +192,7 @@ Workload build_workload(const WorkloadSpec& spec, std::uint64_t seed,
           static_cast<Time>(static_cast<double>(workload::kRossTraceSpan) * spec.scale));
     trace = workload::generate_ross_workload(generator);
   }
-  if (spec.head > 0) trace = workload::head(trace, spec.head);
+  if (spec.head > 0 && !head_applied) trace = workload::head(trace, spec.head);
   if (spec.rescale_load != 1.0) trace = workload::rescale_load(trace, spec.rescale_load);
   if (spec.estimate_factor > 0.0)
     trace = workload::with_estimate_factor(trace, spec.estimate_factor);
@@ -210,8 +213,9 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   for (const std::uint64_t seed : result.plan.seeds) {
     workload::SwfReadResult swf_info;
     const bool want_swf = spec.workload.source == WorkloadSpec::Source::Swf && !result.swf_info;
-    workloads.emplace_back(seed,
-                           build_workload(spec.workload, seed, want_swf ? &swf_info : nullptr));
+    workloads.emplace_back(seed, build_workload(spec.workload, seed,
+                                                want_swf ? &swf_info : nullptr,
+                                                options.swf_reader));
     if (want_swf) result.swf_info = std::move(swf_info);
     workload_fps.push_back(workload_fingerprint(workloads.back().second));
     CampaignResult::TraceInfo info;
@@ -312,6 +316,11 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     base.wcl_enforcement = spec.wcl_enforcement;
     metrics::FstOptions fst;
     fst.tolerance = spec.tolerance;
+    // policy_* metrics need the forked-engine FST; anything else must not pay
+    // for it (it is a second full sweep of the trace per cell).
+    fst.policy_knowledge =
+        std::any_of(spec.metrics.begin(), spec.metrics.end(),
+                    [](const std::string& name) { return name.rfind("policy_", 0) == 0; });
     sim::ExperimentRunner runner(workloads[seed_slot(group.seed)].second, base, fst);
 
     std::vector<PolicyConfig> policies;
@@ -464,9 +473,20 @@ void write_summary_json(const CampaignResult& result, std::ostream& out) {
   out << "{\n";
   out << "  \"campaign\": \"" << json_escape(spec.name) << "\",\n";
   out << "  \"status\": \"" << (result.interrupted ? "interrupted" : "complete") << "\",\n";
-  if (spec.workload.source == WorkloadSpec::Source::Swf)
+  if (spec.workload.source == WorkloadSpec::Source::Swf) {
     out << "  \"source\": \"swf:" << json_escape(spec.workload.swf_file) << "\",\n";
-  else
+    // Machine-sizing provenance: where the node count came from (header
+    // fields vs widest job vs explicit override) plus the ingest counters.
+    // Identical for the eager and streaming readers — both scan the full
+    // trace — so this line never breaks store byte-comparisons.
+    if (result.swf_info) {
+      const workload::SwfReadResult& info = *result.swf_info;
+      out << "  \"swf_sizing\": {\"description\": \"" << json_escape(info.describe_sizing())
+          << "\", \"total_records\": " << info.total_records
+          << ", \"skipped_records\": " << info.skipped_records
+          << ", \"filtered_records\": " << info.filtered_records << "},\n";
+    }
+  } else
     out << "  \"source\": \"ross\",\n  \"scale\": "
         << format_round_trip_double(spec.workload.scale) << ",\n";
   out << "  \"expanded_cells\": " << result.plan.expanded_cells << ",\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace psched::sim {
 
@@ -28,18 +29,22 @@ SimulationEngine::SimulationEngine(const Workload& workload, EngineConfig config
   result_.original_job_count = workload_.jobs.size();
   result_.segments_of_original.resize(workload_.jobs.size());
 
-  // Seed the event heap: all segments up front in preprocessing mode, only
-  // segment 0 in chained (checkpoint/restart) mode.
+  // Seed the record table: all segments up front in preprocessing mode, only
+  // segment 0 in chained (checkpoint/restart) mode. Their arrivals are NOT
+  // pushed onto the event heap — seeded records are already in (submit, id)
+  // order (segments inherit the original's submit; the workload is sorted),
+  // so the run loop walks them with a cursor instead. The heap stays
+  // O(queue) and a fork inherits the cursor, not O(trace) arrival events.
   for (const Job& original : workload_.jobs) {
     const std::int32_t count = config_.segment_arrival == SegmentArrival::AtOriginalSubmit
                                    ? limiter_.segment_count(original)
                                    : 1;
     for (std::int32_t s = 0; s < count; ++s) {
       const Job segment = limiter_.make_segment(original, s, /*id=*/0, original.submit);
-      const JobId record = add_record(segment);
-      push_event({segment.submit, EventKind::Arrive, record});
+      add_record(segment);
     }
   }
+  seeded_end_ = static_cast<JobId>(result_.records.size());
 }
 
 SimulationEngine::SimulationEngine(const SimulationEngine& other, JobId target)
@@ -52,12 +57,14 @@ SimulationEngine::SimulationEngine(const SimulationEngine& other, JobId target)
       free_nodes_(other.free_nodes_),
       now_(other.now_),
       ran_(true),
+      events_(other.events_),
       pending_timers_(other.pending_timers_),
       arrival_limit_(target),
+      next_seeded_(other.next_seeded_),
+      seeded_end_(std::min<JobId>(other.seeded_end_, target + 1)),
       running_state_(other.running_state_),
       running_view_(other.running_view_),
       waiting_(other.waiting_),
-      waiting_pos_(other.waiting_pos_),
       waiting_demand_(other.waiting_demand_),
       running_nodes_(other.running_nodes_) {
   if (!scheduler_)
@@ -65,29 +72,18 @@ SimulationEngine::SimulationEngine(const SimulationEngine& other, JobId target)
   scheduler_->attach(*this);
   config_.record_snapshots = false;  // forks exist only to produce start times
 
-  // Pending events survive the fork except arrivals past the target — the
-  // fork's universe ends with job `target`, exactly like a workload truncated
-  // after it.
-  events_.reserve(other.events_.size());
-  for (const Event& event : other.events_)
-    if (event.kind != EventKind::Arrive || event.id <= target) events_.push_back(event);
-  std::make_heap(events_.begin(), events_.end(), std::greater<Event>{});
-
-  // Trim per-record storage to the fork's universe; later records can never
-  // be referenced (their arrivals were dropped above).
-  const auto count = static_cast<std::size_t>(target) + 1;
-  result_.policy_name = other.result_.policy_name;
-  result_.system_size = other.result_.system_size;
-  result_.records.assign(other.result_.records.begin(),
-                         other.result_.records.begin() + static_cast<std::ptrdiff_t>(count));
-  result_.segments_of_original.assign(
-      other.result_.segments_of_original.begin(),
-      other.result_.segments_of_original.begin() + static_cast<std::ptrdiff_t>(count));
-  result_.original_job_count = count;
-  result_.first_start = other.result_.first_start;
-  result_.last_finish = other.result_.last_finish;
-  result_.busy_proc_seconds = other.result_.busy_proc_seconds;
-  result_.loc_proc_seconds = other.result_.loc_proc_seconds;
+  // The fork's universe ends with job `target` — enforced by capping the
+  // seeded-arrival cursor at target + 1 above, a constant-time operation
+  // where trimming a record table used to cost O(target). The copied event
+  // heap holds only completions / WCL checks / timers (forks require no
+  // runtime limiter, so no chained arrivals can be pending): O(queue).
+  //
+  // Start times and waiting positions go to sparse overlays instead of the
+  // master's dense per-record vectors; only the jobs currently in the queue
+  // can ever be touched, so the overlays stay O(queue) too.
+  fork_waiting_pos_.reserve(waiting_.size());
+  for (std::size_t pos = 0; pos < waiting_.size(); ++pos)
+    fork_waiting_pos_[waiting_[pos]] = static_cast<std::int32_t>(pos);
 }
 
 std::unique_ptr<SimulationEngine> SimulationEngine::fork_for_arrival(JobId target) const {
@@ -100,7 +96,8 @@ std::unique_ptr<SimulationEngine> SimulationEngine::fork_for_arrival(JobId targe
   // The state-equivalence argument holds exactly when the target's arrival
   // is the next pending event (the hook fires there); forking any other id
   // would silently yield a start from the wrong universe, so check it.
-  if (events_.empty() || events_top().kind != EventKind::Arrive || events_top().id != target)
+  const std::optional<PendingEvent> pending = peek_event();
+  if (!pending || pending->event.kind != EventKind::Arrive || pending->event.id != target)
     throw std::logic_error(
         "SimulationEngine::fork_for_arrival: only valid from inside the arrival hook for the "
         "target (its arrival must be the next pending event)");
@@ -108,7 +105,49 @@ std::unique_ptr<SimulationEngine> SimulationEngine::fork_for_arrival(JobId targe
 }
 
 const Job& SimulationEngine::job(JobId id) const {
+  // A fork has no record table; record ids equal workload indices there
+  // (fork_for_arrival rejects runtime-limit runs), so the shared immutable
+  // job table serves every lookup. Note a master record's job differs from
+  // the workload's only in segment bookkeeping (parent/segment fields),
+  // which nothing on the fork path reads.
+  if (is_fork()) return workload_.jobs.at(static_cast<std::size_t>(id));
   return result_.records.at(static_cast<std::size_t>(id)).job;
+}
+
+Time SimulationEngine::record_start(JobId id) const {
+  if (is_fork()) {
+    const auto it = fork_starts_.find(id);
+    return it == fork_starts_.end() ? kNoTime : it->second;
+  }
+  return result_.records.at(static_cast<std::size_t>(id)).start;
+}
+
+void SimulationEngine::set_record_start(JobId id, Time at) {
+  if (is_fork()) {
+    fork_starts_[id] = at;
+    return;
+  }
+  result_.records[static_cast<std::size_t>(id)].start = at;
+}
+
+std::int32_t SimulationEngine::waiting_pos_of(JobId id) const {
+  if (is_fork()) {
+    const auto it = fork_waiting_pos_.find(id);
+    return it == fork_waiting_pos_.end() ? -1 : it->second;
+  }
+  const auto idx = static_cast<std::size_t>(id);
+  return idx < waiting_pos_.size() ? waiting_pos_[idx] : -1;
+}
+
+void SimulationEngine::set_waiting_pos(JobId id, std::int32_t pos) {
+  if (is_fork()) {
+    if (pos < 0)
+      fork_waiting_pos_.erase(id);
+    else
+      fork_waiting_pos_[id] = pos;
+    return;
+  }
+  waiting_pos_[static_cast<std::size_t>(id)] = pos;
 }
 
 JobId SimulationEngine::add_record(const Job& segment) {
@@ -162,20 +201,21 @@ void SimulationEngine::record_snapshot(JobId id) {
 }
 
 void SimulationEngine::remove_waiting(JobId id) {
-  const auto idx = static_cast<std::size_t>(id);
-  if (idx >= waiting_pos_.size() || waiting_pos_[idx] < 0)
+  const std::int32_t pos_index = waiting_pos_of(id);
+  if (pos_index < 0)
     throw std::logic_error("engine: started a job that is not waiting");
-  const auto pos = static_cast<std::size_t>(waiting_pos_[idx]);
+  const auto pos = static_cast<std::size_t>(pos_index);
   const JobId moved = waiting_.back();
   waiting_[pos] = moved;
-  waiting_pos_[static_cast<std::size_t>(moved)] = static_cast<std::int32_t>(pos);
+  set_waiting_pos(moved, static_cast<std::int32_t>(pos));
   waiting_.pop_back();
-  waiting_pos_[idx] = -1;
+  set_waiting_pos(id, -1);
 }
 
 void SimulationEngine::deliver_arrival(JobId id) {
-  if (waiting_pos_.size() < result_.records.size()) waiting_pos_.resize(result_.records.size(), -1);
-  waiting_pos_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(waiting_.size());
+  if (!is_fork() && waiting_pos_.size() < result_.records.size())
+    waiting_pos_.resize(result_.records.size(), -1);
+  set_waiting_pos(id, static_cast<std::int32_t>(waiting_.size()));
   waiting_.push_back(id);
   waiting_demand_ += job(id).nodes;
   if (config_.record_snapshots) record_snapshot(id);
@@ -193,8 +233,7 @@ void SimulationEngine::start_job(JobId id) {
   running_nodes_ += j.nodes;
   fairshare_.on_job_start(j.user, j.nodes);
 
-  JobRecord& record = result_.records[static_cast<std::size_t>(id)];
-  record.start = now_;
+  set_record_start(id, now_);
   if (result_.first_start == kNoTime || now_ < result_.first_start) result_.first_start = now_;
 
   Time end = now_ + j.runtime;
@@ -208,7 +247,8 @@ void SimulationEngine::start_job(JobId id) {
 
   if (killed) {
     push_event({end, EventKind::Complete, id});
-    result_.records[static_cast<std::size_t>(id)].killed_at_wcl = true;
+    // The kill annotation is per-record output; forks produce no records.
+    if (!is_fork()) result_.records[static_cast<std::size_t>(id)].killed_at_wcl = true;
   } else {
     push_event({now_ + j.runtime, EventKind::Complete, id});
     if (config_.wcl_enforcement == WclEnforcement::KillIfNeeded && j.wcl < j.runtime)
@@ -230,16 +270,20 @@ void SimulationEngine::deliver_completion(JobId id, Time finish, bool killed) {
   running_state_.erase(state_it);
   running_view_.erase(running_view_.begin() + static_cast<std::ptrdiff_t>(index));
 
-  JobRecord& record = result_.records[static_cast<std::size_t>(id)];
-  record.finish = finish;
-  record.killed_at_wcl = record.killed_at_wcl || killed;
+  if (!is_fork()) {
+    JobRecord& record = result_.records[static_cast<std::size_t>(id)];
+    record.finish = finish;
+    record.killed_at_wcl = record.killed_at_wcl || killed;
+  }
   if (result_.last_finish == kNoTime || finish > result_.last_finish) result_.last_finish = finish;
 
   scheduler_->on_complete(id);
 
   // Chain the next runtime-limit segment, if any (Chained mode only; in
-  // preprocessing mode every segment was seeded at construction).
-  if (config_.segment_arrival == SegmentArrival::Chained) {
+  // preprocessing mode every segment was seeded at construction). Guarded on
+  // the limiter because a fork's job(id) has no segment parentage to follow
+  // — and forks forbid runtime limits anyway, so the guard costs nothing.
+  if (config_.segment_arrival == SegmentArrival::Chained && limiter_.enabled()) {
     const Job& original = workload_.jobs.at(static_cast<std::size_t>(j.parent));
     const std::optional<Job> next = limiter_.next_segment(original, j, finish, /*id=*/0);
     if (next) {
@@ -282,25 +326,56 @@ void SimulationEngine::pop_event() {
   events_.pop_back();
 }
 
+std::optional<SimulationEngine::PendingEvent> SimulationEngine::peek_event() const {
+  if (next_seeded_ < seeded_end_) {
+    const Event cursor{job(next_seeded_).submit, EventKind::Arrive, next_seeded_};
+    // The cursor arrival wins ties against itself never (ids are unique) and
+    // loses ties to completions/earlier kinds exactly as a heap entry would:
+    // both sides use Event's (at, kind, id) order.
+    if (events_.empty() || events_top() > cursor) return PendingEvent{cursor, true};
+  }
+  if (events_.empty()) return std::nullopt;
+  return PendingEvent{events_top(), false};
+}
+
+void SimulationEngine::consume_event(const PendingEvent& pending) {
+  if (pending.from_cursor)
+    ++next_seeded_;
+  else
+    pop_event();
+}
+
+std::size_t SimulationEngine::fork_footprint_bytes() const {
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);  // hash-bucket / tree links
+  return events_.capacity() * sizeof(Event) +
+         waiting_.capacity() * sizeof(JobId) +
+         running_state_.capacity() * sizeof(RunningState) +
+         running_view_.capacity() * sizeof(RunningView) +
+         fork_starts_.size() * (sizeof(JobId) + sizeof(Time) + kNodeOverhead) +
+         fork_waiting_pos_.size() * (sizeof(JobId) + sizeof(std::int32_t) + kNodeOverhead) +
+         pending_timers_.size() * (sizeof(Time) + 2 * kNodeOverhead);
+}
+
 void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
   std::vector<JobId> starts;
-  while (!events_.empty()) {
+  std::optional<PendingEvent> pending;
+  while ((pending = peek_event())) {
     // Cooperative cancellation at the event boundary: engine state here is a
     // consistent between-events snapshot, so a cancelled run can be thrown
     // away without ever exposing a torn result.
     if (config_.stop.stop_requested()) throw SimulationCancelled(config_.stop.reason());
-    const Time t = events_top().at;
+    const Time t = pending->event.at;
     advance_accounting(t);
 
     // Drain every event at this instant; completions sort before arrivals,
     // and chained segment arrivals pushed "now" are picked up here too.
-    while (!events_.empty() && events_top().at == t) {
-      const Event event = events_top();
+    while (pending && pending->event.at == t) {
+      const Event event = pending->event;
       // The hook fires with the arrival still pending: nothing of this (or
       // any later) job has touched the engine yet, so a fork taken here is
       // byte-identical to a run over the workload truncated after event.id.
       if (hook != nullptr && event.kind == EventKind::Arrive) (*hook)(event.id);
-      pop_event();
+      consume_event(*pending);
       switch (event.kind) {
         case EventKind::Complete:
           deliver_completion(event.id, t, /*killed=*/false);
@@ -320,15 +395,14 @@ void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
           pending_timers_.erase(t);
           break;
       }
+      pending = peek_event();
     }
 
     starts.clear();
     scheduler_->collect_starts(starts);
     for (const JobId id : starts) start_job(id);
 
-    if (run_until != kInvalidJob &&
-        result_.records[static_cast<std::size_t>(run_until)].start != kNoTime)
-      return;
+    if (run_until != kInvalidJob && record_start(run_until) != kNoTime) return;
 
     if (const std::optional<Time> wake = scheduler_->next_wakeup(); wake && !waiting_.empty())
       schedule_timer(*wake);
@@ -354,12 +428,12 @@ SimulationResult SimulationEngine::run_with_arrival_hook(const ArrivalHook& hook
 }
 
 Time SimulationEngine::run_until_started(JobId target) {
-  if (arrival_limit_ == kInvalidJob)
+  if (!is_fork())
     throw std::logic_error("SimulationEngine::run_until_started: not a fork");
   if (target != arrival_limit_)
     throw std::logic_error("SimulationEngine::run_until_started: target is not the fork's job");
   run_loop(nullptr, target);
-  const Time start = result_.records[static_cast<std::size_t>(target)].start;
+  const Time start = record_start(target);
   if (start == kNoTime)
     throw std::logic_error("SimulationEngine::run_until_started: fork drained without starting " +
                            std::to_string(target));

@@ -8,11 +8,20 @@
 // Maximum-runtime limits (section 5.1) are applied here: an original job
 // longer than the limit enters as segment 0, and each following segment is
 // submitted the instant its predecessor completes.
+//
+// Arrival events are NOT pre-seeded into the event heap: the seeded records
+// are already sorted by (submit, record id) — exactly the heap's ordering —
+// so a cursor over them is merged with the heap on the fly. The heap only
+// ever holds completions, WCL checks, timers and chained-segment arrivals,
+// keeping it (and every fork's copy of it) O(queue), not O(trace).
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "core/fairshare.hpp"
@@ -120,13 +129,16 @@ class SimulationEngine final : public SchedulerContext {
   SimulationResult run_with_arrival_hook(const ArrivalHook& hook);
 
   /// Clone the engine mid-run into an independent fork that never sees an
-  /// arrival with record id > `target`: machine state, event heap, fairshare
-  /// tracker, waiting/running sets and the scheduler (via Scheduler::clone())
-  /// are all copied; the per-record results are trimmed to 0..target. Forks
-  /// share only the immutable workload with their parent, so many forks can
-  /// be drained concurrently. Only valid from inside an arrival hook, at the
-  /// hook invocation for `target`; requires no maximum-runtime limit (record
-  /// ids must equal workload indices) and a clone()-capable scheduler.
+  /// arrival with record id > `target`: machine state, pending events,
+  /// fairshare tracker, waiting/running sets and the scheduler (via
+  /// Scheduler::clone()) are all copied — every one of them O(queue depth).
+  /// The job table is the parent's immutable shared Workload (a view bump,
+  /// not a copy), start times land in a sparse per-fork overlay, and the
+  /// seeded-arrival cursor is simply capped at `target`, so fork cost is
+  /// independent of the arrival index. Only valid from inside an arrival
+  /// hook, at the hook invocation for `target`; requires no maximum-runtime
+  /// limit (record ids must equal workload indices) and a clone()-capable
+  /// scheduler.
   std::unique_ptr<SimulationEngine> fork_for_arrival(JobId target) const;
 
   /// Drain a fork until `target` starts and return its start time — the
@@ -138,9 +150,13 @@ class SimulationEngine final : public SchedulerContext {
   /// it has not started yet). Lets the FST driver resolve forks whose target
   /// provably started before the fork's universe diverged — i.e. before the
   /// next arrival was delivered — without draining them.
-  Time recorded_start(JobId id) const {
-    return result_.records.at(static_cast<std::size_t>(id)).start;
-  }
+  Time recorded_start(JobId id) const { return record_start(id); }
+
+  /// Approximate bytes of fork-owned heap state (event heap, waiting/running
+  /// sets, sparse start/waiting overlays, timers). Excludes the shared job
+  /// table — that is the point of the shared-workload design — and the
+  /// scheduler clone's internals. Used to report peak drain-batch footprint.
+  std::size_t fork_footprint_bytes() const;
 
   // --- SchedulerContext ------------------------------------------------------
   Time now() const override { return now_; }
@@ -163,15 +179,23 @@ class SimulationEngine final : public SchedulerContext {
       return id > other.id;
     }
   };
+  /// The next event to deliver: either the heap top or the virtual arrival
+  /// of the seeded-record cursor, whichever sorts first under Event's order.
+  struct PendingEvent {
+    Event event;
+    bool from_cursor;
+  };
 
-  /// Fork copy (fork_for_arrival): clone `other` mid-run, dropping arrival
-  /// events past `target` and trimming per-record storage to 0..target.
+  /// Fork copy (fork_for_arrival): clone `other` mid-run with the seeded
+  /// arrival cursor capped at `target`; all copied state is O(queue depth).
   SimulationEngine(const SimulationEngine& other, JobId target);
 
   struct RunningState {
     JobId id;
     Time actual_end;  ///< when the job completes if never killed
   };
+
+  bool is_fork() const { return arrival_limit_ != kInvalidJob; }
 
   void advance_accounting(Time to);
   JobId add_record(const Job& job);
@@ -186,18 +210,29 @@ class SimulationEngine final : public SchedulerContext {
   /// their own keys.
   void remove_waiting(JobId id);
 
+  // Start times and the waiting-position index live in the dense record
+  // table on a master engine, and in sparse per-fork overlays on a fork —
+  // a fork may only ever touch O(queue) of either, and the dense tables
+  // are what made fork cost O(arrival index).
+  Time record_start(JobId id) const;
+  void set_record_start(JobId id, Time at);
+  std::int32_t waiting_pos_of(JobId id) const;
+  void set_waiting_pos(JobId id, std::int32_t pos);
+
   /// The shared event loop. `hook` (may be null) fires before each arrival;
   /// when `run_until` is a valid record id the loop returns as soon as that
   /// record has started (fork draining) instead of draining the heap.
   void run_loop(const ArrivalHook* hook, JobId run_until);
 
-  // Event heap primitives (min-heap over a plain vector, so forks can filter
-  // the pending events in one pass instead of copying then re-popping).
+  // Event heap primitives (min-heap over a plain vector) plus the merged
+  // heap-or-cursor view the run loop consumes.
   const Event& events_top() const { return events_.front(); }
   void push_event(const Event& event);
   void pop_event();
+  std::optional<PendingEvent> peek_event() const;
+  void consume_event(const PendingEvent& pending);
 
-  const Workload& workload_;
+  Workload workload_;  ///< immutable shared view; copying it is O(1)
   EngineConfig config_;
   RuntimeLimiter limiter_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -213,12 +248,19 @@ class SimulationEngine final : public SchedulerContext {
   /// Forks only: arrival events with a record id above this are discarded
   /// (kInvalidJob = deliver everything, the normal mode).
   JobId arrival_limit_ = kInvalidJob;
+  /// Seeded-arrival cursor: records [next_seeded_, seeded_end_) have not
+  /// arrived yet and are delivered in record order (== (submit, id) order).
+  JobId next_seeded_ = 0;
+  JobId seeded_end_ = 0;
 
   SimulationResult result_;
   std::vector<RunningState> running_state_;   // parallel to running_view_
   std::vector<RunningView> running_view_;
   std::vector<JobId> waiting_;                // record ids not yet started (unordered)
-  std::vector<std::int32_t> waiting_pos_;     // record id -> index in waiting_ (-1 = absent)
+  std::vector<std::int32_t> waiting_pos_;     // master: record id -> index in waiting_ (-1 = absent)
+  // Fork overlays (lookups only, never iterated — determinism-safe).
+  std::unordered_map<JobId, Time> fork_starts_;
+  std::unordered_map<JobId, std::int32_t> fork_waiting_pos_;
   NodeCount waiting_demand_ = 0;              // sum of waiting nodes
   NodeCount running_nodes_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "sim/policy_fst.hpp"
 #include "util/thread_pool.hpp"
 
 namespace psched::sim {
@@ -48,6 +49,18 @@ const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy, util::
     if (stop.valid()) config.stop = stop;
     result->simulation = simulate(workload_, config);
     result->report = metrics::evaluate(result->simulation, fst_options_);
+    if (fst_options_.policy_knowledge) {
+      // The forked-engine FST re-runs the policy itself, so it needs the
+      // workload and config — this is the one place with both in hand. The
+      // fork drain help-drains safely from inside a sweep lane's pool task.
+      PolicyFstOptions policy_options;
+      policy_options.fork_batch = fst_options_.fork_batch;
+      result->report.policy_fairness.fair_start =
+          policy_no_later_arrivals_fst(workload_, config, policy_options);
+      metrics::aggregate_fst(result->simulation, fst_options_,
+                             result->report.policy_fairness);
+      result->report.has_policy_fairness = true;
+    }
   } catch (...) {
     error = std::current_exception();
     result.reset();

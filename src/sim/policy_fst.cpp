@@ -45,9 +45,16 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
   // resolve-without-drain check below (draining inside the fork's own hook
   // would find recorded_start still unset and always pay the full tail).
   std::vector<std::pair<JobId, std::unique_ptr<SimulationEngine>>> batch;
-  const std::size_t batch_cap = std::max<std::size_t>(
-      options.parallel ? 4 * util::global_pool().size() : 0, 16);
+  const std::size_t batch_cap =
+      options.fork_batch > 0
+          ? options.fork_batch
+          : std::max<std::size_t>(options.parallel ? 4 * util::global_pool().size() : 0, 16);
   batch.reserve(batch_cap);
+  if (options.stats != nullptr) {
+    *options.stats = PolicyFstStats{};
+    options.stats->forks = n;
+    options.stats->fork_batch = batch_cap;
+  }
 
   SimulationEngine master(workload, run);
   const SimulationResult* master_result = nullptr;  // set once the pass ends
@@ -69,6 +76,13 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
 
   std::vector<std::size_t> pending;  // batch indices that genuinely need a drain
   const auto drain_batch = [&] {
+    if (options.stats != nullptr) {
+      // Peak engine-state memory this batch admitted: every fork in it is
+      // still alive here, before resolution frees any of them.
+      std::size_t batch_bytes = 0;
+      for (const auto& entry : batch) batch_bytes += entry.second->fork_footprint_bytes();
+      options.stats->peak_batch_bytes = std::max(options.stats->peak_batch_bytes, batch_bytes);
+    }
     pending.clear();
     for (std::size_t k = 0; k < batch.size(); ++k) {
       const Time resolved = resolved_without_drain(batch[k].first);
@@ -88,6 +102,10 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
       util::parallel_for(pending.size(), drain_one);
     else
       for (std::size_t p = 0; p < pending.size(); ++p) drain_one(p);
+    if (options.stats != nullptr) {
+      options.stats->drained += pending.size();
+      options.stats->resolved_from_master += batch.size() - pending.size();
+    }
     batch.clear();
   };
 
@@ -109,11 +127,9 @@ std::vector<Time> policy_no_later_arrivals_fst_naive(const Workload& workload,
   std::vector<Time> fair_start(n, kNoTime);
 
   const auto compute_one = [&](std::size_t i) {
-    Workload truncated;
-    truncated.system_size = workload.system_size;
-    truncated.jobs.assign(workload.jobs.begin(),
-                          workload.jobs.begin() + static_cast<std::ptrdiff_t>(i) + 1);
-    // ids already match indices; the target is the last job.
+    // A truncation is a view over the shared job table — ids already match
+    // indices and the target is the last job.
+    const Workload truncated = workload.truncate(i + 1);
     EngineConfig run = config;
     run.record_snapshots = false;
     const SimulationResult result = simulate(truncated, run);

@@ -14,17 +14,39 @@
 // length. The naive re-simulation is preserved below as the behavioral
 // oracle — tests pin the two byte-identical for every policy.
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/engine.hpp"
 
 namespace psched::sim {
 
+/// Observability counters filled by policy_no_later_arrivals_fst when the
+/// caller wires PolicyFstOptions::stats. Deterministic for a given
+/// (workload, config, options) triple.
+struct PolicyFstStats {
+  std::size_t forks = 0;                  ///< forks taken (== job count)
+  std::size_t drained = 0;                ///< forks that paid a drain tail
+  std::size_t resolved_from_master = 0;   ///< answered free from the master pass
+  std::size_t fork_batch = 0;             ///< the batch cap actually used
+  /// Max over drain batches of the summed fork footprints
+  /// (SimulationEngine::fork_footprint_bytes) alive at drain time — the
+  /// peak engine-state memory the bounded batching admits.
+  std::size_t peak_batch_bytes = 0;
+};
+
 struct PolicyFstOptions {
   /// Drain forks concurrently on the global pool (results are byte-identical
   /// to a serial drain: each fork is independent and writes one integer to
   /// its own result slot).
   bool parallel = true;
+  /// Forks accumulated before a drain. 0 = automatic (the historical
+  /// behavior: max(4 * pool size, 16) when parallel, 16 serial). Peak memory
+  /// scales with this times the per-fork O(queue) footprint; latency on wide
+  /// pools wants it >= the pool size.
+  std::size_t fork_batch = 0;
+  /// Optional out-param for drain observability; untouched when null.
+  PolicyFstStats* stats = nullptr;
 };
 
 /// fair_start[i] = start of workload.jobs[i] when the simulation is re-run
@@ -36,9 +58,9 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
                                                const PolicyFstOptions& options = {});
 
 /// The seed implementation, preserved verbatim as the behavioral oracle: one
-/// truncated-workload re-simulation per job (O(i) workload copy + O(n^2)
-/// simulated events overall). Reference for tests and BM_RefPolicyFstNaive;
-/// use policy_no_later_arrivals_fst everywhere else.
+/// truncated-workload re-simulation per job (O(n^2) simulated events
+/// overall). Reference for tests and BM_RefPolicyFstNaive; use
+/// policy_no_later_arrivals_fst everywhere else.
 std::vector<Time> policy_no_later_arrivals_fst_naive(const Workload& workload,
                                                      const EngineConfig& config,
                                                      const PolicyFstOptions& options = {});

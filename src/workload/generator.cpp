@@ -172,7 +172,7 @@ Workload generate_ross_workload(const GeneratorConfig& cfg) {
   const CountTable& counts = ross_table1_job_counts();
   const HoursTable& hours_target = ross_table2_proc_hours();
 
-  Workload workload;
+  WorkloadBuilder workload;
   workload.system_size = cfg.system_size;
 
   for (int w = 0; w < kWidthCategories; ++w) {
@@ -225,8 +225,9 @@ Workload generate_ross_workload(const GeneratorConfig& cfg) {
   }
 
   workload.normalize();
-  workload.validate();
-  return workload;
+  Workload built = workload.build();
+  built.validate();
+  return built;
 }
 
 Workload generate_small_workload(std::uint64_t seed, std::size_t jobs, NodeCount system_size,
@@ -234,7 +235,7 @@ Workload generate_small_workload(std::uint64_t seed, std::size_t jobs, NodeCount
   if (system_size <= 0 || span <= 0 || user_count <= 0)
     throw std::invalid_argument("generate_small_workload: bad parameters");
   Rng rng(seed);
-  Workload workload;
+  WorkloadBuilder workload;
   workload.system_size = system_size;
   for (std::size_t i = 0; i < jobs; ++i) {
     Job job;
@@ -250,8 +251,9 @@ Workload generate_small_workload(std::uint64_t seed, std::size_t jobs, NodeCount
     workload.jobs.push_back(job);
   }
   workload.normalize();
-  workload.validate();
-  return workload;
+  Workload built = workload.build();
+  built.validate();
+  return built;
 }
 
 }  // namespace psched::workload

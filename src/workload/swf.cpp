@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <charconv>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace psched::workload {
 
@@ -32,6 +33,11 @@ enum SwfField : std::size_t {
   kFieldCount = 18,
 };
 
+/// Records pulled per read_chunk call by the whole-trace loops below: big
+/// enough to amortize call overhead, small enough that a chunk is noise next
+/// to the head-selection buffer.
+constexpr std::size_t kIngestChunk = 4096;
+
 bool parse_header_int(const std::string& line, const std::string& key, long long& out) {
   const auto pos = line.find(key);
   if (pos == std::string::npos) return false;
@@ -44,69 +50,18 @@ bool parse_header_int(const std::string& line, const std::string& key, long long
     return false;
   }
 }
-}  // namespace
 
-SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOptions& options) {
+/// Shared tail of both readers: counters, machine sizing, normalize+validate.
+SwfReadResult finish_read(const SwfStreamReader& reader, WorkloadBuilder&& builder,
+                          NodeCount system_size) {
   SwfReadResult result;
-  NodeCount header_nodes = 0;
-  NodeCount header_procs = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == ';') {
-      long long value = 0;
-      if (parse_header_int(line, "MaxNodes", value))
-        header_nodes = std::max(header_nodes, static_cast<NodeCount>(value));
-      else if (parse_header_int(line, "MaxProcs", value))
-        header_procs = std::max(header_procs, static_cast<NodeCount>(value));
-      continue;
-    }
-    std::istringstream fields(line);
-    std::array<long long, kFieldCount> f{};
-    f.fill(-1);
-    std::size_t n = 0;
-    while (n < kFieldCount && (fields >> f[n])) ++n;
-    if (n < kRequestedTime + 1 && n < kFieldCount) {
-      // Too few fields to be a record; count as skipped noise.
-      ++result.total_records;
-      ++result.skipped_records;
-      continue;
-    }
-    ++result.total_records;
+  result.total_records = reader.total_records();
+  result.skipped_records = reader.skipped_records();
+  result.filtered_records = reader.filtered_records();
 
-    // Status filter first: a cancelled/failed record is not malformed, it
-    // describes work that never (fully) ran, so it must not fall through to
-    // the invalid-record accounting below.
-    if (!options.accepted_statuses.empty() &&
-        std::find(options.accepted_statuses.begin(), options.accepted_statuses.end(),
-                  f[kStatus]) == options.accepted_statuses.end()) {
-      ++result.filtered_records;
-      continue;
-    }
-
-    Job job;
-    job.submit = static_cast<Time>(std::max<long long>(0, f[kSubmit]));
-    job.runtime = static_cast<Time>(f[kRuntime]);
-    long long procs = f[kAllocatedProcs];
-    if (procs <= 0 && options.fallback_to_requested) procs = f[kRequestedProcs];
-    job.nodes = static_cast<NodeCount>(procs);
-    job.wcl = static_cast<Time>(f[kRequestedTime]);
-    if (job.wcl <= 0 && options.fallback_wcl_to_runtime) job.wcl = job.runtime;
-    job.user = static_cast<UserId>(std::max<long long>(0, f[kUserId]));
-    job.group = static_cast<GroupId>(std::max<long long>(0, f[kGroupId]));
-
-    if (job.runtime <= 0 || job.nodes <= 0 || job.wcl <= 0) {
-      if (options.skip_invalid) {
-        ++result.skipped_records;
-        continue;
-      }
-      throw std::invalid_argument("read_swf: invalid record: " + line);
-    }
-    result.workload.jobs.push_back(job);
-  }
-
-  NodeCount widest = 0;
-  for (const Job& job : result.workload.jobs) widest = std::max(widest, job.nodes);
+  const NodeCount header_nodes = reader.header_max_nodes();
+  const NodeCount header_procs = reader.header_max_procs();
+  const NodeCount widest = reader.widest_job();
   result.header_max_nodes = header_nodes;
   result.header_max_procs = header_procs;
   result.widest_job = widest;
@@ -118,22 +73,170 @@ SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOpt
   // never make validate() reject work the traced machine actually ran.
   const NodeCount header_size = std::max(header_nodes, header_procs);
   if (system_size > 0) {
-    result.workload.system_size = system_size;
+    builder.system_size = system_size;
     result.sizing = SwfSizing::Explicit;
   } else if (header_size >= widest && header_size > 0) {
-    result.workload.system_size = header_size;
+    builder.system_size = header_size;
     result.sizing =
         header_procs > header_nodes ? SwfSizing::HeaderProcs : SwfSizing::HeaderNodes;
   } else if (widest > 0) {
-    result.workload.system_size = widest;
+    builder.system_size = widest;
     result.sizing = SwfSizing::WidestJob;
   } else {
-    result.workload.system_size = 1;
+    builder.system_size = 1;
     result.sizing = SwfSizing::Fallback;
   }
-  result.workload.normalize();
+  builder.normalize();
+  result.workload = builder.build();
   result.workload.validate();
   return result;
+}
+}  // namespace
+
+SwfStreamReader::SwfStreamReader(std::istream& in, SwfReadOptions options, std::string origin)
+    : in_(in), options_(std::move(options)), origin_(std::move(origin)) {}
+
+bool SwfStreamReader::next_job(Job& out) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF traces
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      long long value = 0;
+      if (parse_header_int(line, "MaxNodes", value))
+        header_max_nodes_ = std::max(header_max_nodes_, static_cast<NodeCount>(value));
+      else if (parse_header_int(line, "MaxProcs", value))
+        header_max_procs_ = std::max(header_max_procs_, static_cast<NodeCount>(value));
+      continue;
+    }
+
+    std::array<long long, kFieldCount> f{};
+    f.fill(-1);
+    std::size_t n = 0;
+    const char* cursor = line.c_str();
+    const char* const end = cursor + line.size();
+    while (n < kFieldCount) {
+      while (cursor < end && (*cursor == ' ' || *cursor == '\t')) ++cursor;
+      if (cursor >= end) break;
+      const char* token = cursor;
+      while (cursor < end && *cursor != ' ' && *cursor != '\t') ++cursor;
+      long long value = 0;
+      const auto parsed = std::from_chars(token, cursor, value);
+      if (parsed.ec == std::errc::result_out_of_range)
+        throw std::runtime_error(origin_ + ":" + std::to_string(line_) + ": SWF field " +
+                                 std::to_string(n + 1) + " out of range: '" +
+                                 std::string(token, cursor) + "'");
+      if (parsed.ec != std::errc()) break;  // non-numeric token ends the record
+      f[n++] = value;
+      if (parsed.ptr != cursor) break;  // numeric prefix + garbage: keep it, then stop
+    }
+    if (n < kRequestedTime + 1) {
+      // Too few fields to be a record; count as skipped noise.
+      ++total_records_;
+      ++skipped_records_;
+      continue;
+    }
+    ++total_records_;
+
+    // Status filter first: a cancelled/failed record is not malformed, it
+    // describes work that never (fully) ran, so it must not fall through to
+    // the invalid-record accounting below.
+    if (!options_.accepted_statuses.empty() &&
+        std::find(options_.accepted_statuses.begin(), options_.accepted_statuses.end(),
+                  f[kStatus]) == options_.accepted_statuses.end()) {
+      ++filtered_records_;
+      continue;
+    }
+
+    Job job;
+    job.submit = static_cast<Time>(std::max<long long>(0, f[kSubmit]));
+    job.runtime = static_cast<Time>(f[kRuntime]);
+    long long procs = f[kAllocatedProcs];
+    if (procs <= 0 && options_.fallback_to_requested) procs = f[kRequestedProcs];
+    job.nodes = static_cast<NodeCount>(procs);
+    job.wcl = static_cast<Time>(f[kRequestedTime]);
+    if (job.wcl <= 0 && options_.fallback_wcl_to_runtime) job.wcl = job.runtime;
+    job.user = static_cast<UserId>(std::max<long long>(0, f[kUserId]));
+    job.group = static_cast<GroupId>(std::max<long long>(0, f[kGroupId]));
+
+    if (job.runtime <= 0 || job.nodes <= 0 || job.wcl <= 0) {
+      if (options_.skip_invalid) {
+        ++skipped_records_;
+        continue;
+      }
+      throw std::invalid_argument(origin_ + ":" + std::to_string(line_) +
+                                  ": invalid record: " + line);
+    }
+    widest_job_ = std::max(widest_job_, job.nodes);
+    out = job;
+    return true;
+  }
+  done_ = true;
+  return false;
+}
+
+std::size_t SwfStreamReader::read_chunk(std::vector<Job>& out, std::size_t max_records) {
+  std::size_t appended = 0;
+  Job job;
+  while (appended < max_records && next_job(job)) {
+    out.push_back(job);
+    ++appended;
+  }
+  return appended;
+}
+
+SwfReadResult read_swf(std::istream& in, NodeCount system_size, const SwfReadOptions& options,
+                       const std::string& origin) {
+  SwfStreamReader reader(in, options, origin);
+  WorkloadBuilder builder;
+  while (reader.read_chunk(builder.jobs, kIngestChunk) > 0) {
+  }
+  return finish_read(reader, std::move(builder), system_size);
+}
+
+SwfReadResult read_swf_streaming(std::istream& in, NodeCount system_size,
+                                 const SwfReadOptions& options, std::size_t head,
+                                 const std::string& origin) {
+  SwfStreamReader reader(in, options, origin);
+  WorkloadBuilder builder;
+  if (head == 0) {
+    while (reader.read_chunk(builder.jobs, kIngestChunk) > 0) {
+    }
+  } else {
+    // Keep the `head` smallest records under (submit, ingest order) — the
+    // exact prefix the eager path's stable normalize + head truncation keeps
+    // — in a max-heap, so memory stays O(head + chunk) over any trace size.
+    struct Entry {
+      Time submit;
+      std::size_t seq;
+      Job job;
+    };
+    const auto earlier = [](const Entry& a, const Entry& b) {
+      return a.submit != b.submit ? a.submit < b.submit : a.seq < b.seq;
+    };
+    std::vector<Entry> heap;
+    heap.reserve(head + 1);
+    std::vector<Job> chunk;
+    chunk.reserve(kIngestChunk);
+    std::size_t seq = 0;
+    for (;;) {
+      chunk.clear();
+      if (reader.read_chunk(chunk, kIngestChunk) == 0) break;
+      for (const Job& job : chunk) {
+        heap.push_back(Entry{job.submit, seq++, job});
+        std::push_heap(heap.begin(), heap.end(), earlier);
+        if (heap.size() > head) {
+          std::pop_heap(heap.begin(), heap.end(), earlier);
+          heap.pop_back();
+        }
+      }
+    }
+    std::sort(heap.begin(), heap.end(), earlier);
+    builder.jobs.reserve(heap.size());
+    for (const Entry& entry : heap) builder.jobs.push_back(entry.job);
+  }
+  return finish_read(reader, std::move(builder), system_size);
 }
 
 std::string SwfReadResult::describe_sizing() const {
@@ -164,7 +267,14 @@ SwfReadResult read_swf_file(const std::string& path, NodeCount system_size,
                             const SwfReadOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_swf_file: cannot open " + path);
-  return read_swf(in, system_size, options);
+  return read_swf(in, system_size, options, path);
+}
+
+SwfReadResult read_swf_file_streaming(const std::string& path, NodeCount system_size,
+                                      const SwfReadOptions& options, std::size_t head) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_swf_file_streaming: cannot open " + path);
+  return read_swf_streaming(in, system_size, options, head, path);
 }
 
 void write_swf(std::ostream& out, const Workload& workload, const std::string& comment) {

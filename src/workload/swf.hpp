@@ -11,6 +11,14 @@
 // filters on status by default — see SwfReadOptions::accepted_statuses.
 // Cancelled/failed records often still carry plausible runtimes, which is why
 // ingesting them silently corrupts utilization and fairness numbers.
+//
+// Two ingestion paths share one line-level parsing core (SwfStreamReader),
+// so both carry the same error discipline — malformed numeric fields are
+// rejected with "<origin>:<line>: ..." messages:
+//   read_swf            eager: materializes the whole trace, then normalizes.
+//   read_swf_streaming  chunked scan; with `head` > 0 it keeps only the
+//                       first `head` arrivals, so peak memory is
+//                       O(head + chunk) instead of O(trace).
 
 #include <iosfwd>
 #include <string>
@@ -65,16 +73,78 @@ struct SwfReadResult {
   std::string describe_sizing() const;
 };
 
-/// Parse an SWF stream. `system_size` <= 0 derives the machine size as
-/// max(MaxNodes, MaxProcs, widest job). Job widths are processor counts
+/// Incremental SWF record puller: the line-level parsing core both readers
+/// are built on. Pulls records in caller-sized chunks so peak memory is the
+/// caller's choice, and carries line numbers so every rejection points at
+/// the offending trace line.
+///
+/// Error discipline: a numeric field too wide for its type throws
+/// std::runtime_error("<origin>:<line>: SWF field N out of range: ...");
+/// an invalid record with skip_invalid == false throws std::invalid_argument
+/// with the same "<origin>:<line>" prefix. A token that is not numeric at
+/// all ends the record's field list (matching classic istream extraction),
+/// and a line with fewer than 9 parsed fields counts as skipped noise.
+class SwfStreamReader {
+ public:
+  /// The stream must outlive the reader. `origin` labels error messages
+  /// (pass the file path when reading from a file).
+  explicit SwfStreamReader(std::istream& in, SwfReadOptions options = {},
+                           std::string origin = "swf");
+
+  /// Appends up to `max_records` ingested jobs (ids unassigned — normalize
+  /// renumbers) to `out`; returns the count appended. 0 means end of stream.
+  std::size_t read_chunk(std::vector<Job>& out, std::size_t max_records);
+  bool done() const { return done_; }
+
+  /// 1-based number of the last line read.
+  std::size_t line() const { return line_; }
+
+  // Counters over everything scanned so far; final once done().
+  std::size_t total_records() const { return total_records_; }
+  std::size_t skipped_records() const { return skipped_records_; }
+  std::size_t filtered_records() const { return filtered_records_; }
+  NodeCount header_max_nodes() const { return header_max_nodes_; }
+  NodeCount header_max_procs() const { return header_max_procs_; }
+  NodeCount widest_job() const { return widest_job_; }
+
+ private:
+  bool next_job(Job& out);
+
+  std::istream& in_;
+  SwfReadOptions options_;
+  std::string origin_;
+  bool done_ = false;
+  std::size_t line_ = 0;
+  std::size_t total_records_ = 0;
+  std::size_t skipped_records_ = 0;
+  std::size_t filtered_records_ = 0;
+  NodeCount header_max_nodes_ = 0;
+  NodeCount header_max_procs_ = 0;
+  NodeCount widest_job_ = 0;
+};
+
+/// Parse an SWF stream eagerly. `system_size` <= 0 derives the machine size
+/// as max(MaxNodes, MaxProcs, widest job). Job widths are processor counts
 /// (SWF AllocatedProcs), so on SMP traces MaxProcs — not MaxNodes — is the
 /// matching unit, and the widest-job floor guards against understated
 /// headers. An explicit `system_size` is taken as-is; jobs wider than it
 /// make validate() throw.
 SwfReadResult read_swf(std::istream& in, NodeCount system_size = 0,
-                       const SwfReadOptions& options = {});
+                       const SwfReadOptions& options = {}, const std::string& origin = "swf");
 SwfReadResult read_swf_file(const std::string& path, NodeCount system_size = 0,
                             const SwfReadOptions& options = {});
+
+/// Chunked scan of an SWF stream. With `head` > 0, only the first `head`
+/// arrivals — smallest (submit, ingest order), exactly the prefix the eager
+/// path's normalize + head would keep — are retained, bounding peak memory
+/// at O(head + chunk) while counters, sizing, and widest-job provenance are
+/// still computed over the full trace. The returned SwfReadResult is
+/// byte-for-byte identical to the eager path followed by head truncation.
+SwfReadResult read_swf_streaming(std::istream& in, NodeCount system_size = 0,
+                                 const SwfReadOptions& options = {}, std::size_t head = 0,
+                                 const std::string& origin = "swf");
+SwfReadResult read_swf_file_streaming(const std::string& path, NodeCount system_size = 0,
+                                      const SwfReadOptions& options = {}, std::size_t head = 0);
 
 /// Serialize a workload as SWF V2 with a descriptive header.
 void write_swf(std::ostream& out, const Workload& workload,

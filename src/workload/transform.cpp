@@ -10,7 +10,7 @@ namespace psched::workload {
 
 Workload slice_by_time(const Workload& workload, Time from, Time to) {
   if (from >= to) throw std::invalid_argument("slice_by_time: empty window");
-  Workload out;
+  WorkloadBuilder out;
   out.system_size = workload.system_size;
   for (const Job& job : workload.jobs) {
     if (job.submit < from || job.submit >= to) continue;
@@ -19,46 +19,46 @@ Workload slice_by_time(const Workload& workload, Time from, Time to) {
     out.jobs.push_back(copy);
   }
   out.normalize();
-  out.validate();
-  return out;
+  Workload built = out.build();
+  built.validate();
+  return built;
 }
 
 Workload filter_jobs(const Workload& workload, const std::function<bool(const Job&)>& keep) {
-  Workload out;
+  WorkloadBuilder out;
   out.system_size = workload.system_size;
   for (const Job& job : workload.jobs)
     if (keep(job)) out.jobs.push_back(job);
   out.normalize();
-  out.validate();
-  return out;
+  Workload built = out.build();
+  built.validate();
+  return built;
 }
 
 Workload rescale_load(const Workload& workload, double load_factor) {
   if (!(load_factor > 0.0)) throw std::invalid_argument("rescale_load: factor must be > 0");
-  Workload out;
-  out.system_size = workload.system_size;
-  out.jobs = workload.jobs;
+  WorkloadBuilder out(workload);
   const Time origin = workload.earliest_submit();
-  if (origin == kNoTime) return out;
+  if (origin == kNoTime) return out.build();
   for (Job& job : out.jobs) {
     const double offset = static_cast<double>(job.submit - origin) / load_factor;
     job.submit = origin + static_cast<Time>(std::llround(offset));
   }
   out.normalize();
-  out.validate();
-  return out;
+  Workload built = out.build();
+  built.validate();
+  return built;
 }
 
 Workload with_estimate_factor(const Workload& workload, double factor) {
   if (factor < 1.0) throw std::invalid_argument("with_estimate_factor: factor must be >= 1");
-  Workload out;
-  out.system_size = workload.system_size;
-  out.jobs = workload.jobs;
+  WorkloadBuilder out(workload);
   for (Job& job : out.jobs)
     job.wcl = std::max<Time>(1, static_cast<Time>(
         std::llround(static_cast<double>(job.runtime) * factor)));
-  out.validate();
-  return out;
+  Workload built = out.build();
+  built.validate();
+  return built;
 }
 
 Workload thin(const Workload& workload, double drop_probability, std::uint64_t seed) {
@@ -69,14 +69,9 @@ Workload thin(const Workload& workload, double drop_probability, std::uint64_t s
 }
 
 Workload head(const Workload& workload, std::size_t count) {
-  Workload out;
-  out.system_size = workload.system_size;
-  out.jobs.assign(workload.jobs.begin(),
-                  workload.jobs.begin() +
-                      static_cast<std::ptrdiff_t>(std::min(count, workload.jobs.size())));
-  out.normalize();
-  out.validate();
-  return out;
+  // A normalized workload's prefix is already sorted and densely numbered, so
+  // head is a truncation of the shared job table: a count, not a copy.
+  return workload.truncate(std::min(count, workload.jobs.size()));
 }
 
 }  // namespace psched::workload

@@ -40,10 +40,9 @@ TEST(Job, ProcSeconds) {
 }
 
 TEST(Workload, NormalizeSortsAndRenumbers) {
-  Workload w;
-  w.system_size = 8;
-  w.jobs = {make_job(100, 10, 1), make_job(50, 10, 1), make_job(75, 10, 1)};
-  w.normalize();
+  WorkloadBuilder b({make_job(100, 10, 1), make_job(50, 10, 1), make_job(75, 10, 1)}, 8);
+  b.normalize();
+  const Workload w = b.build();
   EXPECT_EQ(w.jobs[0].submit, 50);
   EXPECT_EQ(w.jobs[1].submit, 75);
   EXPECT_EQ(w.jobs[2].submit, 100);
@@ -52,54 +51,96 @@ TEST(Workload, NormalizeSortsAndRenumbers) {
 }
 
 TEST(Workload, NormalizeIsStableForTies) {
-  Workload w;
-  w.system_size = 8;
   Job a = make_job(10, 10, 1);
   a.user = 1;
   Job b = make_job(10, 20, 2);
   b.user = 2;
-  w.jobs = {a, b};
-  w.normalize();
+  WorkloadBuilder builder({a, b}, 8);
+  builder.normalize();
+  const Workload w = builder.build();
   EXPECT_EQ(w.jobs[0].user, 1);  // original order preserved on equal submit
   EXPECT_EQ(w.jobs[1].user, 2);
 }
 
 TEST(Workload, ValidateRejectsUnsorted) {
-  Workload w;
-  w.system_size = 8;
-  w.jobs = {make_job(100, 10, 1), make_job(50, 10, 1)};
-  w.jobs[0].id = 0;
-  w.jobs[1].id = 1;
+  std::vector<Job> jobs = {make_job(100, 10, 1), make_job(50, 10, 1)};
+  jobs[0].id = 0;
+  jobs[1].id = 1;
+  const Workload w(std::move(jobs), 8);  // frozen as-is: no normalize
   EXPECT_THROW(w.validate(), std::invalid_argument);
 }
 
 TEST(Workload, ValidateRejectsIdMismatch) {
-  Workload w;
-  w.system_size = 8;
-  w.jobs = {make_job(0, 10, 1)};
-  w.jobs[0].id = 5;
+  std::vector<Job> jobs = {make_job(0, 10, 1)};
+  jobs[0].id = 5;
+  const Workload w(std::move(jobs), 8);
   EXPECT_THROW(w.validate(), std::invalid_argument);
 }
 
 TEST(Workload, ValidateRejectsBadSystemSize) {
-  Workload w;
-  w.system_size = 0;
+  const Workload w({}, 0);
   EXPECT_THROW(w.validate(), std::invalid_argument);
 }
 
 TEST(Workload, Aggregates) {
-  Workload w;
-  w.system_size = 8;
-  w.jobs = {make_job(5, 100, 2), make_job(10, 200, 4)};
-  w.normalize();
+  WorkloadBuilder b({make_job(5, 100, 2), make_job(10, 200, 4)}, 8);
+  b.normalize();
+  const Workload w = b.build();
   EXPECT_DOUBLE_EQ(w.total_proc_seconds(), 2.0 * 100 + 4.0 * 200);
   EXPECT_EQ(w.earliest_submit(), 5);
   EXPECT_EQ(w.latest_submit(), 10);
 
-  const Workload empty{{}, 8};
+  const Workload empty({}, 8);
   EXPECT_EQ(empty.earliest_submit(), kNoTime);
   EXPECT_EQ(empty.latest_submit(), kNoTime);
   EXPECT_DOUBLE_EQ(empty.total_proc_seconds(), 0.0);
+}
+
+TEST(Workload, CopyAndTruncateShareStorage) {
+  const Workload w = test::make_workload(
+      8, {make_job(0, 10, 1), make_job(5, 10, 2), make_job(9, 10, 4)});
+  const Workload copy = w;
+  EXPECT_EQ(copy.jobs.begin(), w.jobs.begin());  // same underlying array
+  EXPECT_EQ(copy.jobs.size(), 3u);
+
+  const Workload two = w.truncate(2);
+  EXPECT_EQ(two.jobs.size(), 2u);
+  EXPECT_EQ(two.jobs.begin(), w.jobs.begin());  // a truncation is a count
+  EXPECT_EQ(two.jobs.back().id, 1);
+  EXPECT_NO_THROW(two.validate());
+
+  EXPECT_EQ(w.truncate(0).jobs.size(), 0u);
+  EXPECT_EQ(w.truncate(3).jobs.size(), 3u);
+  EXPECT_THROW(w.truncate(4), std::out_of_range);
+}
+
+TEST(Workload, TruncationOutlivesOriginal) {
+  Workload two;
+  {
+    const Workload w = test::make_workload(
+        8, {make_job(0, 10, 1), make_job(5, 10, 2), make_job(9, 10, 4)});
+    two = w.truncate(2);
+  }  // the original view is gone; shared storage must keep the jobs alive
+  ASSERT_EQ(two.jobs.size(), 2u);
+  EXPECT_EQ(two.jobs[1].submit, 5);
+  EXPECT_NO_THROW(two.validate());
+}
+
+TEST(Workload, BuilderRoundTripsAView) {
+  const Workload w = test::make_workload(4, {make_job(0, 10, 1), make_job(1, 10, 2)});
+  WorkloadBuilder edit(w);
+  ASSERT_EQ(edit.jobs.size(), 2u);
+  edit.jobs[0].runtime = 99;
+  const Workload edited = edit.build();
+  EXPECT_EQ(edited.jobs[0].runtime, 99);
+  EXPECT_EQ(w.jobs[0].runtime, 10);  // the original view is untouched
+}
+
+TEST(JobSpanTest, AtThrowsOutOfRange) {
+  const Workload w = test::make_workload(4, {make_job(0, 10, 1)});
+  EXPECT_EQ(w.jobs.at(0).id, 0);
+  EXPECT_THROW(w.jobs.at(1), std::out_of_range);
+  EXPECT_THROW(w.jobs.at(static_cast<std::size_t>(-1)), std::out_of_range);
 }
 
 }  // namespace

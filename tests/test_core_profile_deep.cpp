@@ -185,8 +185,8 @@ TEST(ProfileDeep, DeepPackIndexedMatchesLinearScan) {
 /// heavy compression pass.
 Workload burst_workload(std::size_t jobs) {
   util::Rng rng(7777);
-  Workload w;
-  w.system_size = 64;
+  WorkloadBuilder b;
+  b.system_size = 64;
   for (std::size_t i = 0; i < jobs; ++i) {
     Job job;
     job.id = static_cast<JobId>(i);
@@ -195,9 +195,10 @@ Workload burst_workload(std::size_t jobs) {
     job.nodes = static_cast<NodeCount>(rng.uniform_int(1, 16));
     job.runtime = rng.uniform_int(120, 4000);
     job.wcl = job.runtime + rng.uniform_int(0, 2000);
-    w.jobs.push_back(job);
+    b.jobs.push_back(job);
   }
-  w.normalize();
+  b.normalize();
+  Workload w = b.build();
   w.validate();
   return w;
 }

@@ -28,10 +28,9 @@ inline Job make_job(Time submit, Time runtime, NodeCount nodes, UserId user = 0,
 
 /// Normalized workload from a job list.
 inline Workload make_workload(NodeCount system_size, std::vector<Job> jobs) {
-  Workload w;
-  w.system_size = system_size;
-  w.jobs = std::move(jobs);
-  w.normalize();
+  WorkloadBuilder builder(std::move(jobs), system_size);
+  builder.normalize();
+  Workload w = builder.build();
   w.validate();
   return w;
 }

@@ -143,8 +143,9 @@ TEST(HybridFst, WidthBreakdownSumsMatch) {
 TEST(ConsPFst, PerfectEstimateScheduleIsExactlyFairForFcfsConservative) {
   // A conservative FCFS run with perfect estimates reproduces the CONS_P
   // schedule, so nobody misses.
-  Workload w = psched::workload::generate_small_workload(59, 150, 32, days(4));
-  for (Job& job : w.jobs) job.wcl = job.runtime;  // perfect estimates
+  WorkloadBuilder edit(psched::workload::generate_small_workload(59, 150, 32, days(4)));
+  for (Job& job : edit.jobs) job.wcl = job.runtime;  // perfect estimates
+  const Workload w = edit.build();
   const SimulationResult r = run_policy(w, PolicyKind::Conservative, PriorityKind::Fcfs);
   const FstResult f = cons_p_fst(r, strict());
   for (std::size_t i = 0; i < r.records.size(); ++i)

@@ -152,11 +152,7 @@ TEST_P(SchedulingDominance, WorkConservationOfNoGuarantee) {
   for (int i = 0; i < 120; ++i)
     jobs.push_back(test::make_job(rng.uniform_int(0, days(1)), rng.uniform_int(60, hours(3)), 1,
                                   static_cast<UserId>(rng.uniform_int(0, 5))));
-  Workload w;
-  w.system_size = 8;
-  w.jobs = std::move(jobs);
-  w.normalize();
-  w.validate();
+  const Workload w = test::make_workload(8, std::move(jobs));
   sim::EngineConfig config;
   config.policy.kind = PolicyKind::Cplant;
   config.policy.starvation_delay = kNoTime;

@@ -276,5 +276,106 @@ decay = 0.5, 0.9
   EXPECT_NE(result.aggregates[0].decay, result.aggregates[1].decay);
 }
 
+TEST(Campaign, SummaryJsonPinsSwfSizingProvenance) {
+  const ScenarioSpec spec =
+      parse_spec_file(kSourceDir + "/examples/campaigns/swf_replay.spec");
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_TRUE(result.swf_info.has_value());
+  const std::string json = json_of(result);
+  // The exact provenance line: where the 1524-node figure came from, plus the
+  // ingest counters, immediately after the source.
+  EXPECT_NE(json.find("\"swf_sizing\": {\"description\": \"" +
+                      result.swf_info->describe_sizing() +
+                      "\", \"total_records\": 194, \"skipped_records\": 0, "
+                      "\"filtered_records\": 14}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(result.swf_info->describe_sizing().find("1524 nodes (SWF header MaxNodes"),
+            std::string::npos);
+  // Ross-sourced campaigns have no SWF provenance to report.
+  const ScenarioSpec ross = parse(R"(
+[campaign]
+name = no_swf
+metrics = avg_wait
+
+[workload]
+scale = 0.02
+rescale_load = 30
+
+[policies]
+names = easy
+)");
+  EXPECT_EQ(json_of(run_campaign(ross)).find("swf_sizing"), std::string::npos);
+}
+
+TEST(Campaign, EagerAndStreamingReadersProduceByteIdenticalStores) {
+  // The acceptance bar for the streaming reader: at any --jobs, with or
+  // without a head cap, the results store must not change by a byte when the
+  // ingestion path does.
+  ScenarioSpec spec = parse_spec_file(kSourceDir + "/examples/campaigns/swf_replay.spec");
+  for (const std::size_t head : {std::size_t{0}, std::size_t{50}}) {
+    spec.workload.head = head;
+    CampaignOptions eager;
+    eager.swf_reader = SwfReaderKind::Eager;
+    eager.jobs = 1;
+    CampaignOptions streaming;
+    streaming.swf_reader = SwfReaderKind::Streaming;
+    streaming.jobs = 4;
+    const CampaignResult a = run_campaign(spec, eager);
+    const CampaignResult b = run_campaign(spec, streaming);
+    EXPECT_EQ(csv_of(a), csv_of(b)) << "head " << head;
+    EXPECT_EQ(json_of(a), json_of(b)) << "head " << head;
+  }
+}
+
+TEST(Campaign, PolicyMetricsComputeTheForkedFst) {
+  // Selecting a policy_* metric turns on the forked-engine FST for the
+  // sweep; the cell numbers must be bit-identical to running the same
+  // workload through an ExperimentRunner with policy_knowledge set.
+  const ScenarioSpec spec = parse(R"(
+[campaign]
+name = policy_fst
+metrics = policy_percent_unfair, policy_avg_miss_all, policy_max_miss, avg_wait
+
+[workload]
+scale = 0.02
+rescale_load = 30
+
+[policies]
+names = cplant24.nomax.all, cons.nomax
+)");
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.count(CellStatus::Ok), 2u);
+
+  const Workload w = build_workload(spec.workload, result.plan.seeds.at(0));
+  metrics::FstOptions fst;
+  fst.tolerance = spec.tolerance;
+  fst.policy_knowledge = true;
+  sim::ExperimentRunner runner(w, {}, fst);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const sim::ExperimentResult& reference = runner.run(result.plan.cells[i].policy);
+    ASSERT_TRUE(reference.report.has_policy_fairness);
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m)
+      EXPECT_DOUBLE_EQ(result.cells[i].metrics[m],
+                       metrics::metric_value(reference.report, spec.metrics[m]))
+          << result.plan.cells[i].policy.display_name() << " / " << spec.metrics[m];
+    // The forked FST is a different quantity from the hybrid FST — equal
+    // vectors would mean the wiring read the wrong field.
+    EXPECT_NE(reference.report.policy_fairness.fair_start,
+              reference.report.fairness.fair_start);
+  }
+}
+
+TEST(Campaign, PolicyMetricOnPlainReportThrows) {
+  // A policy_* metric against a report computed without policy_knowledge is
+  // a wiring bug and must fail loudly, never aggregate zeros.
+  const Workload w = workload::generate_small_workload(3, 40, 32, days(1));
+  sim::ExperimentRunner runner(w);
+  const sim::ExperimentResult& run = runner.run(*policy_from_name("easy"));
+  EXPECT_FALSE(run.report.has_policy_fairness);
+  EXPECT_THROW(metrics::metric_value(run.report, "policy_percent_unfair"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace psched::scenario

@@ -53,22 +53,24 @@ TEST(RoundTripDouble, ShortestRepresentationParsesBackExactly) {
 }
 
 TEST(Fingerprints, WorkloadContentChangesTheFingerprint) {
-  Workload a;
-  a.system_size = 64;
   Job job;
   job.runtime = 100;
   job.wcl = 120;
   job.submit = 5;
-  a.jobs = {job};
-  a.normalize();
-  Workload b = a;
+  WorkloadBuilder builder({job}, 64);
+  builder.normalize();
+  const Workload a = builder.build();
+  const Workload copy = a;
   const std::uint64_t fp_a = workload_fingerprint(a);
-  EXPECT_EQ(fp_a, workload_fingerprint(b));  // copies agree
-  b.jobs[0].runtime = 101;
-  EXPECT_NE(fp_a, workload_fingerprint(b));
-  Workload c = a;
-  c.system_size = 65;
-  EXPECT_NE(fp_a, workload_fingerprint(c));
+  EXPECT_EQ(fp_a, workload_fingerprint(copy));  // copies agree (shared table)
+
+  WorkloadBuilder edit_runtime(a);
+  edit_runtime.jobs[0].runtime = 101;
+  EXPECT_NE(fp_a, workload_fingerprint(edit_runtime.build()));
+
+  WorkloadBuilder edit_size(a);
+  edit_size.system_size = 65;
+  EXPECT_NE(fp_a, workload_fingerprint(edit_size.build()));
 }
 
 TEST(Fingerprints, EverySemanticSpecFieldParticipates) {

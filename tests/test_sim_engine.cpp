@@ -159,9 +159,11 @@ TEST(Engine, OverrunningJobsBlockConservativeReservations) {
   // with several overrunners at once.
   EngineConfig config;
   config.policy.kind = PolicyKind::Conservative;
-  Workload w = psched::workload::generate_small_workload(79, 120, 24, days(3));
+  WorkloadBuilder edit(psched::workload::generate_small_workload(79, 120, 24, days(3)));
   // Force a batch of under-estimates.
-  for (std::size_t i = 0; i < w.jobs.size(); i += 7) w.jobs[i].wcl = w.jobs[i].runtime / 2 + 1;
+  for (std::size_t i = 0; i < edit.jobs.size(); i += 7)
+    edit.jobs[i].wcl = edit.jobs[i].runtime / 2 + 1;
+  const Workload w = edit.build();
   const SimulationResult r = simulate(w, config);
   test::expect_no_overallocation(r);
   test::expect_complete_and_causal(r);

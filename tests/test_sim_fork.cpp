@@ -36,13 +36,15 @@ std::vector<PolicyConfig> nine_policies_nomax() {
 /// Every 3rd job underestimates its runtime (wcl = runtime / 2), so
 /// overrun-handling — the growing assumed-end horizon, conservative's
 /// forced full replans, WCL kills when enforced — is live in every run.
-Workload with_underestimates(Workload workload) {
-  for (std::size_t i = 0; i < workload.jobs.size(); i += 3) {
-    Job& job = workload.jobs[i];
+Workload with_underestimates(const Workload& workload) {
+  WorkloadBuilder edit(workload);
+  for (std::size_t i = 0; i < edit.jobs.size(); i += 3) {
+    Job& job = edit.jobs[i];
     job.wcl = std::max<Time>(1, job.runtime / 2);
   }
-  workload.validate();
-  return workload;
+  Workload out = edit.build();
+  out.validate();
+  return out;
 }
 
 TEST(PolicyFstFork, ByteIdenticalToNaiveForAllNinePolicies) {
@@ -166,9 +168,7 @@ TEST(PolicyFstFork, SingleForkMatchesTruncatedSimulation) {
   config.record_snapshots = false;
 
   for (const JobId target : {JobId{0}, JobId{17}, JobId{39}}) {
-    Workload truncated;
-    truncated.system_size = w.system_size;
-    truncated.jobs.assign(w.jobs.begin(), w.jobs.begin() + target + 1);
+    const Workload truncated = w.truncate(static_cast<std::size_t>(target) + 1);
     const SimulationResult oracle = simulate(truncated, config);
 
     SimulationEngine master(w, config);

@@ -2,13 +2,52 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "test_helpers.hpp"
 #include "workload/generator.hpp"
+#include "workload/transform.hpp"
 
 namespace psched::workload {
 namespace {
+
+/// Field-by-field workload equality — the byte-identity the streaming reader
+/// promises against the eager one.
+void expect_same_jobs(const Workload& a, const Workload& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_EQ(a.system_size, b.system_size);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id) << "job " << i;
+    EXPECT_EQ(a.jobs[i].submit, b.jobs[i].submit) << "job " << i;
+    EXPECT_EQ(a.jobs[i].runtime, b.jobs[i].runtime) << "job " << i;
+    EXPECT_EQ(a.jobs[i].wcl, b.jobs[i].wcl) << "job " << i;
+    EXPECT_EQ(a.jobs[i].nodes, b.jobs[i].nodes) << "job " << i;
+    EXPECT_EQ(a.jobs[i].user, b.jobs[i].user) << "job " << i;
+    EXPECT_EQ(a.jobs[i].group, b.jobs[i].group) << "job " << i;
+  }
+}
+
+/// Parse `text` through BOTH ingestion paths, assert the full SwfReadResult
+/// (workload, counters, sizing provenance) agrees, return the eager result.
+SwfReadResult read_both(const std::string& text, NodeCount system_size = 0,
+                        const SwfReadOptions& options = {}) {
+  std::istringstream eager_in(text);
+  const SwfReadResult eager = read_swf(eager_in, system_size, options);
+  std::istringstream streaming_in(text);
+  const SwfReadResult streaming = read_swf_streaming(streaming_in, system_size, options);
+  expect_same_jobs(eager.workload, streaming.workload);
+  EXPECT_EQ(eager.total_records, streaming.total_records);
+  EXPECT_EQ(eager.skipped_records, streaming.skipped_records);
+  EXPECT_EQ(eager.filtered_records, streaming.filtered_records);
+  EXPECT_EQ(eager.header_max_nodes, streaming.header_max_nodes);
+  EXPECT_EQ(eager.header_max_procs, streaming.header_max_procs);
+  EXPECT_EQ(eager.widest_job, streaming.widest_job);
+  EXPECT_EQ(eager.sizing, streaming.sizing);
+  EXPECT_EQ(eager.describe_sizing(), streaming.describe_sizing());
+  return eager;
+}
 
 TEST(Swf, ParsesMinimalRecord) {
   std::istringstream in(
@@ -274,6 +313,186 @@ TEST(Swf, EmptyStreamYieldsEmptyWorkload) {
   const SwfReadResult result = read_swf(in, 8);
   EXPECT_TRUE(result.workload.jobs.empty());
   EXPECT_EQ(result.workload.system_size, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness battery: hostile archive shapes, exercised through BOTH readers
+// (read_both pins full parity on every case).
+
+TEST(SwfRobustness, CrlfTracesParseIdentically) {
+  // A trace saved on Windows: every line — header, blank, records — ends in
+  // \r\n. The \r must not leak into the last field or make blank lines count.
+  const SwfReadResult result = read_both(
+      "; MaxNodes: 32\r\n"
+      "\r\n"
+      "1 100 -1 3600 8 -1 -1 8 7200 -1 1 3 2 -1 -1 -1 -1 -1\r\n"
+      "2 200 -1 60 4 -1 -1 4 60 -1 1 1 1 -1 -1 -1 -1 -1\r\n");
+  EXPECT_EQ(result.total_records, 2u);
+  EXPECT_EQ(result.skipped_records, 0u);
+  ASSERT_EQ(result.workload.jobs.size(), 2u);
+  EXPECT_EQ(result.workload.jobs[1].group, 1);  // last field intact, no '\r'
+  EXPECT_EQ(result.workload.system_size, 32);
+}
+
+TEST(SwfRobustness, InterleavedCommentsAndBlanksAreNotRecords) {
+  const SwfReadResult result = read_both(
+      "; UnixStartTime: 0\n"
+      "1 10 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "\n"
+      "; mid-trace annotation\n"
+      "2 20 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "\n"
+      "; MaxProcs: 64\n"
+      "3 30 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  EXPECT_EQ(result.total_records, 3u);
+  EXPECT_EQ(result.skipped_records, 0u);
+  ASSERT_EQ(result.workload.jobs.size(), 3u);
+  // Headers are honored wherever they appear in the stream.
+  EXPECT_EQ(result.workload.system_size, 64);
+}
+
+TEST(SwfRobustness, OutOfOrderSubmitsAreNormalized) {
+  // Archive traces are not reliably submit-sorted. Both readers must deliver
+  // a normalized workload: sorted by submit, ties in ingest order, ids
+  // renumbered to match positions.
+  const SwfReadResult result = read_both(
+      "1 500 -1 10 1 -1 -1 1 10 -1 1 7 0 -1 -1 -1 -1 -1\n"
+      "2 100 -1 20 1 -1 -1 1 20 -1 1 8 0 -1 -1 -1 -1 -1\n"
+      "3 100 -1 30 1 -1 -1 1 30 -1 1 9 0 -1 -1 -1 -1 -1\n"
+      "4 50 -1 40 1 -1 -1 1 40 -1 1 6 0 -1 -1 -1 -1 -1\n");
+  ASSERT_EQ(result.workload.jobs.size(), 4u);
+  const Time expected_submit[] = {50, 100, 100, 500};
+  const UserId expected_user[] = {6, 8, 9, 7};  // stable tie at submit=100
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.workload.jobs[i].id, static_cast<JobId>(i)) << "job " << i;
+    EXPECT_EQ(result.workload.jobs[i].submit, expected_submit[i]) << "job " << i;
+    EXPECT_EQ(result.workload.jobs[i].user, expected_user[i]) << "job " << i;
+  }
+}
+
+TEST(SwfRobustness, OversizedFieldRejectsWithLineNumber) {
+  // A submit field wider than 64 bits is corruption, not data — both readers
+  // must refuse with the offending line number, never silently clamp.
+  const std::string text =
+      "; MaxNodes: 8\n"
+      "1 10 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "2 99999999999999999999 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n";
+  for (const bool streaming : {false, true}) {
+    std::istringstream in(text);
+    try {
+      if (streaming)
+        read_swf_streaming(in);
+      else
+        read_swf(in);
+      FAIL() << "expected std::runtime_error (streaming=" << streaming << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("swf:3: SWF field 2 out of range"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(SwfRobustness, StrictInvalidRecordCarriesLineNumber) {
+  const std::string text =
+      "; comment\n"
+      "1 10 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "\n"
+      "2 20 -1 -1 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n";  // runtime missing
+  SwfReadOptions options;
+  options.skip_invalid = false;
+  for (const bool streaming : {false, true}) {
+    std::istringstream in(text);
+    try {
+      if (streaming)
+        read_swf_streaming(in, 0, options);
+      else
+        read_swf(in, 0, options);
+      FAIL() << "expected std::invalid_argument (streaming=" << streaming << ")";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("swf:4: invalid record"), std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(SwfRobustness, FileReadersPrefixErrorsWithPath) {
+  const std::string path = testing::TempDir() + "psched_swf_badfield.swf";
+  {
+    std::ofstream out(path);
+    out << "1 99999999999999999999 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n";
+  }
+  for (const bool streaming : {false, true}) {
+    try {
+      if (streaming)
+        read_swf_file_streaming(path);
+      else
+        read_swf_file(path);
+      FAIL() << "expected std::runtime_error (streaming=" << streaming << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(path + ":1:"), std::string::npos)
+          << error.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SwfRobustness, StreamingMatchesEagerOnGeneratedTrace) {
+  // A multi-chunk trace (several thousand records, unordered after the load
+  // transform) through the full write -> read_both loop.
+  const Workload original = generate_small_workload(21, 3000, 128, days(30));
+  std::ostringstream out;
+  write_swf(out, original, "streaming parity");
+  const SwfReadResult reread = read_both(out.str());
+  EXPECT_EQ(reread.total_records, original.jobs.size());
+  expect_same_jobs(reread.workload, original);
+}
+
+TEST(SwfRobustness, StreamingHeadMatchesEagerHeadPrefix) {
+  // The streaming head cap keeps the N earliest (submit, ingest-order)
+  // records in O(head) memory; it must pick the exact prefix the eager
+  // normalize + head() truncation picks, including across submit ties.
+  std::ostringstream out;
+  out << "; MaxNodes: 64\n";
+  // 200 records with heavily duplicated submits, written in reverse order.
+  for (int i = 199; i >= 0; --i)
+    out << (i + 1) << ' ' << (i % 13) * 100 << " -1 " << (60 + i) << " 2 -1 -1 2 "
+        << (120 + i) << " -1 1 " << i % 7 << " 0 -1 -1 -1 -1 -1\n";
+  const std::string text = out.str();
+
+  std::istringstream eager_in(text);
+  const SwfReadResult eager = read_swf(eager_in);
+  for (const std::size_t head : {std::size_t{1}, std::size_t{57}, std::size_t{200},
+                                 std::size_t{500}}) {
+    std::istringstream streaming_in(text);
+    const SwfReadResult streamed = read_swf_streaming(streaming_in, 0, {}, head);
+    expect_same_jobs(streamed.workload,
+                     workload::head(eager.workload, std::min(head, eager.workload.jobs.size())));
+    // Counters and sizing describe the whole trace in both paths — the head
+    // cap bounds memory, it does not hide records from provenance.
+    EXPECT_EQ(streamed.total_records, eager.total_records);
+    EXPECT_EQ(streamed.widest_job, eager.widest_job);
+    EXPECT_EQ(streamed.describe_sizing(), eager.describe_sizing());
+  }
+}
+
+TEST(SwfStreamReaderTest, ChunkedPullsTrackLinesAndCompletion) {
+  std::istringstream in(
+      "; MaxNodes: 8\n"
+      "1 10 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "2 20 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n"
+      "3 30 -1 100 4 -1 -1 4 100 -1 1 0 0 -1 -1 -1 -1 -1\n");
+  SwfStreamReader reader(in);
+  std::vector<Job> jobs;
+  EXPECT_EQ(reader.read_chunk(jobs, 2), 2u);  // caller-sized chunk
+  EXPECT_FALSE(reader.done());
+  EXPECT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(reader.read_chunk(jobs, 2), 1u);  // trailing partial chunk
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(reader.read_chunk(jobs, 2), 0u);  // drained: stays done, appends nothing
+  EXPECT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(reader.line(), 4u);
+  EXPECT_EQ(reader.total_records(), 3u);
 }
 
 }  // namespace

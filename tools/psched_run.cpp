@@ -117,7 +117,11 @@ int main(int argc, char** argv) {
   Workload trace;
   bool swf_source = false;
   if (!swf_path.empty()) {
-    const workload::SwfReadResult read = workload::read_swf_file(swf_path, system_size);
+    // Streaming ingestion: same bytes as the eager reader (counters, sizing
+    // and workload all pinned identical by tests), but peak memory stays
+    // O(chunk) over the ingest scan — archive traces don't double-buffer.
+    const workload::SwfReadResult read =
+        workload::read_swf_file_streaming(swf_path, system_size);
     trace = read.workload;
     swf_source = true;
     std::cout << "# read " << trace.jobs.size() << " jobs from " << swf_path << " (of "

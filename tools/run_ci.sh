@@ -11,6 +11,10 @@
 #     6. a kill-and-resume smoke: SIGKILL the campaign mid-cell (fault-
 #        injected hang), then --resume and require the results store to be
 #        byte-identical to the uninterrupted run in step 5
+#     7. an archive-scale replay smoke: a ~50k-job synthetic trace exported
+#        to SWF and replayed through a campaign with the forked
+#        (policy-knowledge) FST under a wall budget, with the eager- and
+#        streaming-reader stores diffed byte-for-byte
 #
 #   tools/run_ci.sh sanitize   the sanitizer matrix (a separate workflow job
 #     so tier-1 latency is unchanged): the FULL ctest suite under ASan and
@@ -79,6 +83,43 @@ run_tier1() {
     --out "$RESUME_OUT" --jobs 1 --resume
   cmp "$SMOKE_OUT/cells.csv" "$RESUME_OUT/cells.csv"
   cmp "$SMOKE_OUT/summary.json" "$RESUME_OUT/summary.json"
+
+  echo "== archive-scale replay smoke (~50k jobs, forked FST) =="
+  # Generate a ~50k-job synthetic trace, export it to SWF, and replay it
+  # through a campaign that selects the policy-knowledge (forked-engine) FST.
+  # scale 3.8 condenses ~3.8x the Ross trace into the same span, so the spec
+  # stretches arrivals back (rescale_load 0.26) to keep the queue realistic.
+  # --wall-budget is the perf guard: blowing it exits 4 (interrupted store)
+  # and fails the gate. The uncontended run takes ~15s per reader; 180s
+  # leaves ~10x headroom for slow CI hosts.
+  ARCHIVE_OUT="$BUILD/archive-smoke"
+  rm -rf "$ARCHIVE_OUT"
+  mkdir -p "$ARCHIVE_OUT"
+  "$BUILD"/psched_run --scale 3.8 --seed 42 --write-swf "$ARCHIVE_OUT/archive.swf" \
+    >/dev/null
+  test "$(grep -cv '^[;#]' "$ARCHIVE_OUT/archive.swf")" -ge 50000  # archive-scale, not a toy
+  cat > "$ARCHIVE_OUT/archive.spec" <<SPEC
+[campaign]
+name = archive_smoke
+metrics = policy_percent_unfair, policy_avg_miss_all, percent_unfair, avg_wait, utilization
+
+[workload]
+source = swf
+file = archive.swf
+rescale_load = 0.26
+
+[policies]
+names = cplant24.nomax.all
+SPEC
+  # Same spec through both ingestion paths; the stores must match bytewise.
+  "$BUILD"/psched_campaign "$ARCHIVE_OUT/archive.spec" --out "$ARCHIVE_OUT/streaming" \
+    --swf-reader streaming --jobs 1 --wall-budget 180 >/dev/null
+  "$BUILD"/psched_campaign "$ARCHIVE_OUT/archive.spec" --out "$ARCHIVE_OUT/eager" \
+    --swf-reader eager --jobs 1 --wall-budget 180 >/dev/null
+  cmp "$ARCHIVE_OUT/streaming/cells.csv" "$ARCHIVE_OUT/eager/cells.csv"
+  cmp "$ARCHIVE_OUT/streaming/summary.json" "$ARCHIVE_OUT/eager/summary.json"
+  # The forked FST actually ran: its metric columns are in the store.
+  grep -q "policy_percent_unfair" "$ARCHIVE_OUT/streaming/cells.csv"
 }
 
 case "$STEP" in

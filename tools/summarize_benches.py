@@ -15,7 +15,10 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 # Reference -> optimized name prefixes for pairs that don't follow the plain
 # BM_Foo / BM_RefFoo convention (argument suffixes like "/5000" are kept).
-_PAIR_OVERRIDES = {"BM_RefPolicyFstNaive": "BM_PolicyFstForked"}
+_PAIR_OVERRIDES = {
+    "BM_RefPolicyFstNaive": "BM_PolicyFstForked",
+    "BM_RefForkOverheadRecordCopy": "BM_ForkOverheadShared",
+}
 
 
 def load_cases(path):
@@ -30,8 +33,10 @@ def load_cases(path):
         if "items_per_second" in b:
             entry["items_per_second"] = round(b["items_per_second"], 1)
         # Context counters (e.g. perf_experiment records the pool size the
-        # parallel sweep actually ran with).
-        for counter in ("jobs", "pool_threads"):
+        # parallel sweep actually ran with; perf_fst records the fork-batch
+        # cap and the peak batch/fork memory the bounded draining admitted).
+        for counter in ("jobs", "pool_threads", "fork_batch", "peak_batch_bytes",
+                        "peak_fork_bytes"):
             if counter in b:
                 entry[counter] = round(b[counter], 1)
         cases[b["name"]] = entry
