@@ -14,6 +14,7 @@
 #include "metrics/fst.hpp"
 #include "metrics/selection.hpp"
 #include "sim/experiment.hpp"
+#include "util/fault.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
@@ -71,37 +72,6 @@ const char* wcl_name(sim::WclEnforcement wcl) {
     case sim::WclEnforcement::Always: return "always";
   }
   return "?";
-}
-
-/// Test-only fault injection, parsed from PSCHED_FAULT_INJECT
-/// ("cell:<plan-index>:throw" or "cell:<plan-index>:hang"). `throw` fails the
-/// cell with a runtime_error; `hang` spins inside the cell until its stop
-/// token trips (timeout/signal) — or forever, for kill-resume tests.
-struct FaultInject {
-  bool active = false;
-  std::size_t cell = 0;
-  bool hang = false;
-};
-
-FaultInject parse_fault_inject() {
-  FaultInject fault;
-  const char* env = std::getenv("PSCHED_FAULT_INJECT");
-  if (env == nullptr || *env == '\0') return fault;
-  const std::string text(env);
-  const std::string bad = "PSCHED_FAULT_INJECT: expected cell:<n>:throw|hang, got '" + text + "'";
-  if (text.rfind("cell:", 0) != 0) throw std::runtime_error(bad);
-  const std::size_t colon = text.find(':', 5);
-  if (colon == std::string::npos) throw std::runtime_error(bad);
-  try {
-    fault.cell = std::stoul(text.substr(5, colon - 5));
-  } catch (const std::exception&) {
-    throw std::runtime_error(bad);
-  }
-  const std::string mode = text.substr(colon + 1);
-  if (mode == "hang") fault.hang = true;
-  else if (mode != "throw") throw std::runtime_error(bad);
-  fault.active = true;
-  return fault;
 }
 
 }  // namespace
@@ -204,7 +174,6 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   result.spec = spec;
   result.plan = expand_campaign(spec);
   const std::size_t n = result.plan.cells.size();
-  const FaultInject fault = parse_fault_inject();
 
   // One workload per replicate seed, built up front (groups with different
   // engine knobs share it), fingerprinted for the journal cell keys.
@@ -259,7 +228,15 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     header.campaign = spec.name;
     header.spec_fingerprint = spec_fp;
     header.cells = n;
-    journal = std::make_unique<CampaignJournal>(options.journal_path, header);
+    try {
+      journal = std::make_unique<CampaignJournal>(options.journal_path, header);
+    } catch (const std::exception& error) {
+      // The journal is an aid to resumption, not a result: losing it must
+      // not abort hours of simulation. Run on without it and say so in the
+      // summary; the results stores themselves stay fail-loud.
+      result.journal_degraded = true;
+      result.journal_error = error.what();
+    }
   }
 
   // Shard: cells sharing (seed, engine knobs) sweep through one cached
@@ -340,14 +317,25 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
         source.set_deadline_after(options.cell_timeout);
         return source.token();
       };
-    if (fault.active)
-      run_options.on_start = [&](std::size_t i, const util::StopToken& token) {
-        if (pending_positions[i] != fault.cell) return;
-        if (!fault.hang) throw std::runtime_error("injected fault (PSCHED_FAULT_INJECT)");
-        while (!token.stop_requested())
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        throw sim::SimulationCancelled(token.reason());
-      };
+    // The campaign.cell fault point (armed via PSCHED_FAULTS, e.g.
+    // "campaign.cell:throw:after=2") replaces the old ad-hoc
+    // PSCHED_FAULT_INJECT hook. `hang` parks cooperatively so the cell's own
+    // token (timeout, signal, wall budget) can still cancel it — or forever,
+    // for SIGKILL + --resume legs.
+    run_options.on_start = [](std::size_t, const util::StopToken& token) {
+      const util::fault::Shot shot = util::fault::check("campaign.cell");
+      switch (shot.action) {
+        case util::fault::Action::kNone:
+          return;
+        case util::fault::Action::kHang:
+          while (!token.stop_requested())
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          throw sim::SimulationCancelled(token.reason());
+        case util::fault::Action::kErrno:
+        case util::fault::Action::kThrow:
+          throw std::runtime_error("injected fault at campaign.cell");
+      }
+    };
     // Serialized by run_isolated: classify, record durably, count. A cell is
     // in the journal the instant it finished — a crash after this point
     // cannot lose it.
@@ -386,7 +374,16 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
         record.status = cell.status;
         record.metrics = cell.metrics;
         record.error = cell.error;
-        journal->record(record);
+        try {
+          journal->record(record);
+        } catch (const std::exception& error) {
+          // ENOSPC-class journal trouble mid-run: downgrade instead of
+          // killing healthy simulation work. Cells from here on are simply
+          // not journaled — a later --resume re-simulates them.
+          result.journal_degraded = true;
+          result.journal_error = error.what();
+          journal.reset();
+        }
       }
     };
 
@@ -473,6 +470,12 @@ void write_summary_json(const CampaignResult& result, std::ostream& out) {
   out << "{\n";
   out << "  \"campaign\": \"" << json_escape(spec.name) << "\",\n";
   out << "  \"status\": \"" << (result.interrupted ? "interrupted" : "complete") << "\",\n";
+  // Only a degraded run carries a journal line: a healthy journaled run and a
+  // journal-less run stay byte-identical (the resume smoke depends on that).
+  if (result.journal_degraded) {
+    out << "  \"journal\": \"degraded\",\n";
+    out << "  \"journal_error\": \"" << json_escape(result.journal_error) << "\",\n";
+  }
   if (spec.workload.source == WorkloadSpec::Source::Swf) {
     out << "  \"source\": \"swf:" << json_escape(spec.workload.swf_file) << "\",\n";
     // Machine-sizing provenance: where the node count came from (header

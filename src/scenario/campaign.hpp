@@ -96,6 +96,12 @@ struct CampaignResult {
   std::size_t simulated_cells = 0;  ///< cells run in this process
   std::size_t restored_cells = 0;   ///< cells replayed from the journal
   std::size_t replayed_records = 0; ///< journal cell records read on resume
+  /// True when the journal could not be opened or appended to: the campaign
+  /// ran to completion anyway (degraded, not failed), summary.json carries
+  /// `"journal": "degraded"`, and a later --resume re-simulates whatever
+  /// went unjournaled. Results-store writes are never degraded — they throw.
+  bool journal_degraded = false;
+  std::string journal_error;  ///< first journal failure, when degraded
   /// Per-seed trace shape, for banners: jobs and machine size.
   struct TraceInfo {
     std::uint64_t seed = 0;

@@ -11,7 +11,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/hash.hpp"
+#include "util/retry.hpp"
 
 namespace psched::scenario {
 
@@ -294,10 +296,14 @@ CellStatus status_from_name(const std::string& name) {
 
 CampaignJournal::CampaignJournal(std::string path, const JournalHeader& header)
     : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd_ < 0)
+  const int open_err = util::retry_io([&]() -> int {
+    if (const int injected = PSCHED_FAULT("journal.open")) return injected;
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    return fd_ < 0 ? errno : 0;
+  });
+  if (open_err != 0)
     throw std::runtime_error("campaign journal: cannot open " + path_ + ": " +
-                             std::strerror(errno));
+                             std::strerror(open_err));
   const off_t size = ::lseek(fd_, 0, SEEK_END);
   if (size == 0) {
     std::ostringstream line;
@@ -314,21 +320,26 @@ CampaignJournal::~CampaignJournal() {
 
 void CampaignJournal::append_line(const std::string& line) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const char* data = line.data();
-  std::size_t remaining = line.size();
-  while (remaining > 0) {
-    const ssize_t written = ::write(fd_, data, remaining);
-    if (written < 0) {
-      if (errno == EINTR) continue;
+  std::size_t off = 0;
+  while (off < line.size()) {
+    ssize_t written = -1;
+    const int err = util::retry_io([&]() -> int {
+      if (const int injected = PSCHED_FAULT("journal.append.write")) return injected;
+      written = ::write(fd_, line.data() + off, line.size() - off);
+      return written < 0 ? errno : 0;
+    });
+    if (err != 0)
       throw std::runtime_error("campaign journal: write to " + path_ + " failed: " +
-                               std::strerror(errno));
-    }
-    data += written;
-    remaining -= static_cast<std::size_t>(written);
+                               std::strerror(err));
+    off += static_cast<std::size_t>(written);
   }
-  if (::fsync(fd_) != 0)
+  const int fsync_err = util::retry_io([&]() -> int {
+    if (const int injected = PSCHED_FAULT("journal.append.fsync")) return injected;
+    return ::fsync(fd_) != 0 ? errno : 0;
+  });
+  if (fsync_err != 0)
     throw std::runtime_error("campaign journal: fsync of " + path_ + " failed: " +
-                             std::strerror(errno));
+                             std::strerror(fsync_err));
 }
 
 void CampaignJournal::record(const JournalCellRecord& cell) {
@@ -350,7 +361,13 @@ void CampaignJournal::record(const JournalCellRecord& cell) {
 JournalReplay replay_journal(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("campaign journal: cannot read " + path);
+  const int read_err =
+      util::retry_io([] { return PSCHED_FAULT("journal.replay.read"); });
+  if (read_err != 0)
+    throw std::runtime_error("campaign journal: read " + path + ": " + std::strerror(read_err));
   std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad())
+    throw std::runtime_error("campaign journal: read " + path + " failed");
 
   JournalReplay replay;
   bool saw_header = false;

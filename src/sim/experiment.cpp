@@ -132,6 +132,10 @@ std::vector<const ExperimentResult*> ExperimentRunner::run_all(
   for (auto& future : futures) {
     try {
       future.get();
+    } catch (const util::SubmitRejected&) {
+      // The lane was never queued (shutdown race or injected fault). The
+      // shared counter means the surviving lanes — at minimum this calling
+      // thread — still sweep every policy: degraded parallelism, not failure.
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
@@ -197,6 +201,9 @@ std::vector<CellOutcome> ExperimentRunner::run_isolated(
   for (auto& future : futures) {
     try {
       future.get();
+    } catch (const util::SubmitRejected&) {
+      // Rejected lane: the remaining lanes pull its share of cells from the
+      // shared counter, so the sweep completes with less parallelism.
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }

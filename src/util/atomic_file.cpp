@@ -3,62 +3,143 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
+
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace psched::util {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& step, const std::string& path) {
+[[noreturn]] void fail(const std::string& step, const std::string& path, int err) {
   throw std::runtime_error("atomic_write_file: " + step + " " + path + ": " +
-                           std::strerror(errno));
+                           std::strerror(err));
+}
+
+/// Remove temp files left next to `path` by crashed runs. Only siblings from
+/// *other* pids are touched: a same-pid name may belong to a concurrent
+/// writer in this process (their names are already collision-free via the
+/// counter suffix). Best-effort — cleanup must never fail the write.
+void unlink_stale_tmps(const std::string& path) {
+  namespace fs = std::filesystem;
+  const std::size_t slash = path.find_last_of('/');
+  const fs::path dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp.";
+  const std::string own = prefix + std::to_string(::getpid()) + ".";
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.rfind(own, 0) == 0) continue;
+    fs::remove(it->path(), ec);
+    ec.clear();
+  }
 }
 
 /// fsync the directory containing `path` so the rename itself is durable.
+/// Failure here is NOT a failed write: the rename already happened and the
+/// new file is visible; only its crash-durability is unconfirmed. The error
+/// text says so, and the renamed file is left in place.
 void sync_parent_dir(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) fail("open directory", dir);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) fail("fsync directory", dir);
+  int err = 0;
+  if (fd < 0) {
+    err = errno;
+  } else {
+    err = retry_io([&]() -> int {
+      if (const int injected = PSCHED_FAULT("atomic_write.parent_fsync")) return injected;
+      return ::fsync(fd) != 0 ? errno : 0;
+    });
+    ::close(fd);
+  }
+  if (err != 0) {
+    throw std::runtime_error("atomic_write_file: rename durability unconfirmed: fsync directory " +
+                             dir + ": " + std::strerror(err) + " (" + path +
+                             " was replaced and remains visible, but the rename may not survive "
+                             "a crash)");
+  }
 }
 
 }  // namespace
 
 void atomic_write_file(const std::string& path, std::string_view contents) {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) fail("open", tmp);
+  // Temp name: <path>.tmp.<pid>.<counter>. The process-wide counter keeps
+  // concurrent writers of the same path in one process apart (pool lanes
+  // under --keep-going, benches); O_EXCL turns the remaining collision — a
+  // stale tmp from a crashed run under a recycled pid — into a retry with a
+  // fresh counter value instead of silently reusing a foreign file.
+  static std::atomic<std::uint64_t> g_tmp_counter{0};
 
-  const char* data = contents.data();
-  std::size_t remaining = contents.size();
-  while (remaining > 0) {
-    const ssize_t written = ::write(fd, data, remaining);
-    if (written < 0) {
-      if (errno == EINTR) continue;
+  int fd = -1;
+  std::string tmp;
+  int open_err = EEXIST;
+  for (int attempt = 0; attempt < 16 && fd < 0; ++attempt) {
+    tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+          std::to_string(g_tmp_counter.fetch_add(1, std::memory_order_relaxed));
+    open_err = retry_io([&]() -> int {
+      if (const int injected = PSCHED_FAULT("atomic_write.open")) return injected;
+      fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+      return fd < 0 ? errno : 0;
+    });
+    if (open_err != 0 && open_err != EEXIST) fail("open", tmp, open_err);
+  }
+  if (fd < 0) fail("open", tmp, open_err);
+
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t written = -1;
+    const int err = retry_io([&]() -> int {
+      if (const int injected = PSCHED_FAULT("atomic_write.write")) return injected;
+      written = ::write(fd, contents.data() + off, contents.size() - off);
+      return written < 0 ? errno : 0;
+    });
+    if (err != 0) {
       ::close(fd);
       ::unlink(tmp.c_str());
-      fail("write", tmp);
+      fail("write", tmp, err);
     }
-    data += written;
-    remaining -= static_cast<std::size_t>(written);
+    off += static_cast<std::size_t>(written);
   }
-  if (::fsync(fd) != 0) {
+
+  const int fsync_err = retry_io([&]() -> int {
+    if (const int injected = PSCHED_FAULT("atomic_write.fsync")) return injected;
+    return ::fsync(fd) != 0 ? errno : 0;
+  });
+  if (fsync_err != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
-    fail("fsync", tmp);
+    fail("fsync", tmp, fsync_err);
   }
-  if (::close(fd) != 0) {
+
+  // close() is never retried: on linux the fd is gone even when close fails,
+  // and a second close could hit a recycled descriptor. The real close always
+  // runs so an injected failure does not leak the fd.
+  int close_err = PSCHED_FAULT("atomic_write.close");
+  if (::close(fd) != 0 && close_err == 0) close_err = errno;
+  if (close_err != 0) {
     ::unlink(tmp.c_str());
-    fail("close", tmp);
+    fail("close", tmp, close_err);
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+
+  unlink_stale_tmps(path);
+
+  const int rename_err = retry_io([&]() -> int {
+    if (const int injected = PSCHED_FAULT("atomic_write.rename")) return injected;
+    return ::rename(tmp.c_str(), path.c_str()) != 0 ? errno : 0;
+  });
+  if (rename_err != 0) {
     ::unlink(tmp.c_str());
-    fail("rename", path);
+    fail("rename", path, rename_err);
   }
   sync_parent_dir(path);
 }

@@ -10,9 +10,17 @@
 
 namespace psched::util {
 
-/// Atomically replace `path` with `contents`. Throws std::runtime_error with
-/// the failing step and errno text; on failure the destination is untouched
-/// (the temp file is unlinked best-effort).
+/// Atomically replace `path` with `contents`. Transient failures (EINTR /
+/// EAGAIN) are retried with bounded backoff via util::retry_io; permanent
+/// ones throw std::runtime_error with the failing step, path, and errno text.
+/// On failure before the rename the destination is untouched (the temp file
+/// is unlinked best-effort). A directory-fsync failure *after* a successful
+/// rename throws a distinct "rename durability unconfirmed" error and leaves
+/// the renamed file in place: the new contents are visible, only their
+/// crash-durability is in doubt. Stale `<path>.tmp.<pid>.<n>` files from
+/// crashed runs are swept before the rename; temp names carry a process-wide
+/// counter so concurrent same-process writers never collide. Every step is a
+/// registered fault point (see docs/fault_injection.md).
 void atomic_write_file(const std::string& path, std::string_view contents);
 
 }  // namespace psched::util

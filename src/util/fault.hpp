@@ -1,0 +1,110 @@
+#pragma once
+// Deterministic, seed-driven fault injection. Every syscall-shaped edge in
+// the I/O layer declares a named point (`PSCHED_FAULT("journal.append.write")`)
+// that normally compiles down to one relaxed atomic load and a never-taken
+// branch. Arming happens through the PSCHED_FAULTS environment variable (read
+// once at process start) or programmatically via arm() in tests:
+//
+//   PSCHED_FAULTS="journal.append.write:errno=ENOSPC:after=3"
+//
+// Spec grammar (comma-separated list of specs, each colon-separated):
+//
+//   <point>:<action>[:<mode>[:seed=S]]
+//   action:  errno=<NAME|number> | throw | hang
+//   mode:    after=N   fire exactly once, on the Nth hit (default after=1)
+//            every=N   fire on every Nth hit
+//            p=X       fire each hit with probability X, drawn from a
+//                      util::Rng stream (seed=S, default 1) — deterministic
+//                      given the seed and the hit order
+//
+// Actions: `errno=E` makes the instrumented call report failure with errno E
+// (the policy layer — util::retry_io, degraded-journal handling — then reacts
+// exactly as it would to the real failure); `throw` raises std::runtime_error
+// from the point itself; `hang` blocks the calling thread forever (for
+// SIGKILL + --resume tests) after flushing the fired-count report so a
+// harness can detect the hang externally.
+//
+// PSCHED_FAULTS_REPORT=<path> writes a per-point "name hits fired" report at
+// process exit (and immediately when a hang fires). Tests use report() /
+// fired_count() in-process to assert a site was actually exercised.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psched::util::fault {
+
+enum class Action {
+  kNone,   ///< point did not fire; proceed normally
+  kErrno,  ///< report failure with Shot::err as errno
+  kThrow,  ///< raise std::runtime_error at the point
+  kHang,   ///< block forever (kill-based chaos legs)
+};
+
+/// Outcome of one hit on a fault point.
+struct Shot {
+  Action action = Action::kNone;
+  int err = 0;  ///< errno payload when action == kErrno
+};
+
+namespace detail {
+/// Number of armed points; 0 means every PSCHED_FAULT is a single
+/// relaxed load + never-taken branch.
+extern std::atomic<int> g_armed_points;
+Shot check_slow(const char* name);
+int inject_slow(const char* name);
+}  // namespace detail
+
+/// Record a hit on `name` and decide whether it fires. Never throws and never
+/// hangs: kThrow/kHang are returned to the caller, which implements them in
+/// the way its context requires (e.g. campaign cells hang cooperatively so a
+/// stop token can still cancel them).
+inline Shot check(const char* name) {
+  if (detail::g_armed_points.load(std::memory_order_relaxed) == 0) return {};
+  return detail::check_slow(name);
+}
+
+/// Syscall-edge convenience around check(): returns the errno to report
+/// (0 = proceed), implements kThrow by throwing std::runtime_error
+/// ("injected fault at <name>") and kHang by sleeping forever.
+inline int inject(const char* name) {
+  if (detail::g_armed_points.load(std::memory_order_relaxed) == 0) return 0;
+  return detail::inject_slow(name);
+}
+
+/// Arm one spec (grammar above, without the comma). Unknown point names are
+/// accepted (the point is created on the fly) so tests can use scratch names.
+/// Throws std::invalid_argument on grammar errors.
+void arm(const std::string& spec);
+
+/// Arm a comma-separated spec list (the PSCHED_FAULTS format).
+void arm_list(const std::string& specs);
+
+/// Disarm every point and zero all hit/fired counters (test isolation).
+void disarm_all();
+
+struct PointReport {
+  std::string name;
+  std::uint64_t hits = 0;   ///< times the point was reached while armed
+  std::uint64_t fired = 0;  ///< times it actually injected a fault
+};
+
+/// Snapshot of every registered point (catalog + any test-created ones),
+/// sorted by name.
+std::vector<PointReport> report();
+
+/// Fired count for one point (0 if never hit or unknown).
+std::uint64_t fired_count(const std::string& name);
+
+/// The compiled-in catalog of fault points threaded through the tree. A
+/// chaos harness enumerates this to exercise every failure edge; the list is
+/// maintained by hand in fault.cpp next to the grammar (see
+/// docs/fault_injection.md for the site of each point).
+const std::vector<std::string>& catalog();
+
+}  // namespace psched::util::fault
+
+/// Marker used at instrumented call sites; reads as "this call can be made to
+/// fail here". Returns the injected errno (0 = proceed).
+#define PSCHED_FAULT(name) (::psched::util::fault::inject(name))

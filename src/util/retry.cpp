@@ -1,0 +1,30 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <thread>
+
+namespace psched::util {
+
+bool retryable_errno(int err) {
+  // EAGAIN == EWOULDBLOCK on linux, but the identity is not portable.
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+int retry_io(const std::function<int()>& op, const RetryPolicy& policy) {
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  int err = 0;
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    err = op();
+    if (err == 0 || !retryable_errno(err)) return err;
+    if (attempt + 1 == attempts) break;
+    if (err != EINTR) {  // EINTR: the call was interrupted, just reissue it
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff);
+    }
+  }
+  return err;
+}
+
+}  // namespace psched::util

@@ -1,0 +1,29 @@
+#pragma once
+// Bounded retry for transient I/O failures. The simulation clock is never
+// involved: retry backoff is the one place in the library that sleeps wall
+// time, and only for EAGAIN-class errors on real syscalls (journal appends,
+// store writes), never inside a simulated timeline.
+
+#include <chrono>
+#include <functional>
+
+namespace psched::util {
+
+struct RetryPolicy {
+  int max_attempts = 5;  ///< total tries, >= 1
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{50};  ///< cap for the doubling backoff
+};
+
+/// True for the transient errno class worth retrying (EINTR, EAGAIN,
+/// EWOULDBLOCK). Everything else — ENOSPC, EIO, EBADF, ... — is permanent and
+/// must surface to the caller's failure policy immediately.
+bool retryable_errno(int err);
+
+/// Run `op` (returning 0 on success, a positive errno on failure) up to
+/// policy.max_attempts times. EINTR retries immediately; EAGAIN/EWOULDBLOCK
+/// back off with capped doubling wall sleeps. Returns 0 on eventual success,
+/// otherwise the last errno (non-transient errors return after one attempt).
+int retry_io(const std::function<int()>& op, const RetryPolicy& policy = {});
+
+}  // namespace psched::util

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace psched::util {
 
@@ -52,7 +55,7 @@ std::future<void> ThreadPool::enqueue(std::function<void()> task, bool leaf) {
       // uniform error path through future.get().
       std::promise<void> rejected;
       rejected.set_exception(
-          std::make_exception_ptr(std::runtime_error("ThreadPool::submit after shutdown")));
+          std::make_exception_ptr(SubmitRejected("ThreadPool::submit after shutdown")));
       return rejected.get_future();
     }
     (leaf ? leaf_tasks_ : compound_tasks_).push(std::move(packaged));
@@ -63,6 +66,12 @@ std::future<void> ThreadPool::enqueue(std::function<void()> task, bool leaf) {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  if (const int injected = PSCHED_FAULT("threadpool.submit")) {
+    std::promise<void> rejected;
+    rejected.set_exception(std::make_exception_ptr(SubmitRejected(
+        std::string("ThreadPool::submit: injected fault: ") + std::strerror(injected))));
+    return rejected.get_future();
+  }
   return enqueue(std::move(task), /*leaf=*/false);
 }
 

@@ -22,10 +22,21 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace psched::util {
+
+/// Carried by a submit()-returned future when the compound task was never
+/// queued — submit raced shutdown(), or the `threadpool.submit` fault point
+/// fired. The work did not and will not run; a caller that can execute it on
+/// its own thread should treat this as degraded parallelism, not failure
+/// (ExperimentRunner's sweep lanes do exactly that).
+class SubmitRejected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ThreadPool {
  public:

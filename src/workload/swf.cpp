@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
+
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace psched::workload {
 
@@ -100,6 +105,13 @@ bool SwfStreamReader::next_job(Job& out) {
   std::string line;
   while (std::getline(in_, line)) {
     ++line_;
+    // Shared read loop of both the eager and streaming readers; a transient
+    // injected failure retries, a permanent one surfaces with the trace
+    // position so the operator can see how far ingestion got.
+    const int read_err = util::retry_io([] { return PSCHED_FAULT("swf.read.line"); });
+    if (read_err != 0)
+      throw std::runtime_error(origin_ + ":" + std::to_string(line_) +
+                               ": read failed: " + std::strerror(read_err));
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF traces
     if (line.empty()) continue;
     if (line[0] == ';') {
@@ -266,14 +278,26 @@ std::string SwfReadResult::describe_sizing() const {
 SwfReadResult read_swf_file(const std::string& path, NodeCount system_size,
                             const SwfReadOptions& options) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_swf_file: cannot open " + path);
+  const int open_err = util::retry_io([&]() -> int {
+    if (const int injected = PSCHED_FAULT("swf.open")) return injected;
+    return in ? 0 : (errno != 0 ? errno : ENOENT);
+  });
+  if (open_err != 0)
+    throw std::runtime_error("read_swf_file: cannot open " + path + ": " +
+                             std::strerror(open_err));
   return read_swf(in, system_size, options, path);
 }
 
 SwfReadResult read_swf_file_streaming(const std::string& path, NodeCount system_size,
                                       const SwfReadOptions& options, std::size_t head) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_swf_file_streaming: cannot open " + path);
+  const int open_err = util::retry_io([&]() -> int {
+    if (const int injected = PSCHED_FAULT("swf.open")) return injected;
+    return in ? 0 : (errno != 0 ? errno : ENOENT);
+  });
+  if (open_err != 0)
+    throw std::runtime_error("read_swf_file_streaming: cannot open " + path + ": " +
+                             std::strerror(open_err));
   return read_swf_streaming(in, system_size, options, head, path);
 }
 

@@ -1,0 +1,11 @@
+// Compliant twin: other PSCHED_* knobs are fair game (only the fault-arming
+// variables are registry-owned), setting the variables is fine (that is how
+// harnesses arm child processes), and a literal that merely mentions
+// PSCHED_FAULTS without an environment read is prose, not a violation.
+#include <cstdlib>
+
+const char* pool_size() { return std::getenv("PSCHED_THREADS"); }
+
+void arm_child() { setenv("PSCHED_FAULTS", "journal.open:errno=EACCES", 1); }
+
+const char* hint() { return "set PSCHED_FAULTS=point:errno=EIO to arm a fault"; }

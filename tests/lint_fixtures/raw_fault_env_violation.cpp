@@ -1,0 +1,13 @@
+// Fixture: reads the fault-arming environment directly instead of asking the
+// registry. PSCHED_FAULTS is parsed exactly once at static init by
+// src/util/fault.cpp; a later getenv sees a stale/diverging view.
+#include <cstdlib>
+
+bool chaos_is_armed() {
+  return std::getenv("PSCHED_FAULTS") != nullptr;
+}
+
+const char* report_path() {
+  return getenv(
+      "PSCHED_FAULTS_REPORT");
+}

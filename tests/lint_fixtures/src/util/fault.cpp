@@ -1,0 +1,5 @@
+// Mirrors the sanctioned suffix src/util/fault.cpp: the fault registry itself
+// is the one place allowed to read the arming environment.
+#include <cstdlib>
+
+const char* armed_specs() { return std::getenv("PSCHED_FAULTS"); }

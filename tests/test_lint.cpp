@@ -117,6 +117,25 @@ TEST(LintUnorderedIter, SeesDeclarationsInSiblingHeader) {
   EXPECT_EQ(lines_of(findings, Rule::kUnorderedIter), (std::vector<int>{9}));
 }
 
+TEST(LintRawFaultEnv, FiresOnViolations) {
+  const auto findings = lint_fixture("raw_fault_env_violation.cpp");
+  EXPECT_EQ(count_rule(findings, Rule::kRawFaultEnv), 2u);
+  // Line 12: the literal sits one line below its getenv( — still caught.
+  EXPECT_EQ(lines_of(findings, Rule::kRawFaultEnv), (std::vector<int>{7, 12}));
+}
+
+TEST(LintRawFaultEnv, SilentOnCompliantTwin) {
+  // Reading other PSCHED_* knobs, *setting* PSCHED_FAULTS, and mentioning it
+  // in prose literals are all allowed.
+  EXPECT_TRUE(lint_fixture("raw_fault_env_clean.cpp").empty());
+}
+
+TEST(LintRawFaultEnv, SanctionedRegistryIsExempt) {
+  // Mirrors the sanctioned suffix src/util/fault.cpp — the registry is the
+  // one reader of the arming environment.
+  EXPECT_TRUE(lint_fixture("src/util/fault.cpp").empty());
+}
+
 TEST(LintSuppressions, WellFormedSuppressionsSilenceFindings) {
   // Same-line and own-line placements, each with a reason: file lints clean.
   EXPECT_TRUE(lint_fixture("suppressed_ok.cpp").empty());
@@ -164,7 +183,7 @@ TEST(LintTree, RealTreeIsClean) {
 
 TEST(LintRuleNames, RoundTrip) {
   for (const char* name : {"raw-rng", "wall-clock", "parallel-fp-accum", "scheduler-clone",
-                           "raw-file-write", "unordered-iter"}) {
+                           "raw-file-write", "unordered-iter", "raw-fault-env"}) {
     Rule rule;
     ASSERT_TRUE(psched::lint::rule_from_name(name, rule)) << name;
     EXPECT_STREQ(psched::lint::rule_name(rule), name);

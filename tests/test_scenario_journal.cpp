@@ -3,18 +3,21 @@
 // and the campaign-level resume contract: a resumed run simulates only the
 // missing cells yet produces a byte-identical results store, failed cells
 // re-run, an edited spec is rejected, timeouts and stops become status rows.
+// Fault-driven robustness: byte-level truncation/flip sweeps over the
+// journal, and injected journal failures downgrading a run to
+// `journal: degraded` instead of aborting it.
 
 #include "scenario/journal.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "scenario/campaign.hpp"
+#include "util/fault.hpp"
 #include "util/stop_token.hpp"
 
 namespace psched::scenario {
@@ -34,13 +37,12 @@ void spit(const std::string& path, const std::string& content) {
   out << content;
 }
 
-/// RAII setenv for the PSCHED_FAULT_INJECT hook.
-struct ScopedEnv {
-  ScopedEnv(const char* name, const std::string& value) : name_(name) {
-    ::setenv(name, value.c_str(), 1);
-  }
-  ~ScopedEnv() { ::unsetenv(name_); }
-  const char* name_;
+/// RAII arming of a fault-registry spec; disarms everything on scope exit so
+/// tests stay isolated (PSCHED_FAULTS is only read at process start — inside
+/// one process, arm() is the way in).
+struct ScopedFault {
+  explicit ScopedFault(const std::string& specs) { util::fault::arm_list(specs); }
+  ~ScopedFault() { util::fault::disarm_all(); }
 };
 
 TEST(RoundTripDouble, ShortestRepresentationParsesBackExactly) {
@@ -189,6 +191,98 @@ TEST(CampaignJournal, MidFileCorruptionIsRejectedWithItsLineNumber) {
   std::remove(path.c_str());
 }
 
+// Exhaustive byte-level recovery contract: a journal truncated at ANY byte
+// offset inside its final record replays as exactly one of two outcomes —
+// torn-tail tolerated (crash-mid-append signature; earlier records survive)
+// or, when only the trailing newline is missing, a complete record. Never a
+// crash, never a third behavior.
+TEST(CampaignJournal, TruncationSweepOverEveryByteOfTheFinalRecord) {
+  const std::string path = temp_path("journal_trunc_sweep.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal journal(path, test_header());
+    JournalCellRecord ok;
+    ok.key = "cell-a";
+    ok.status = CellStatus::Ok;
+    ok.metrics = {0.1, 29645.405555555557};
+    journal.record(ok);
+    JournalCellRecord failed;
+    failed.key = "cell-b";
+    failed.index = 1;
+    failed.status = CellStatus::Failed;
+    failed.error = "boom";
+    journal.record(failed);
+  }
+  const std::string full = slurp(path);
+  const std::size_t final_start = full.rfind("{\"kind\":\"cell\",\"key\":\"cell-b\"");
+  ASSERT_NE(final_start, std::string::npos);
+  ASSERT_EQ(full.back(), '\n');
+  for (std::size_t cut = final_start; cut < full.size(); ++cut) {
+    spit(path, full.substr(0, cut));
+    JournalReplay replay;
+    try {
+      replay = replay_journal(path);
+    } catch (const std::exception& error) {
+      FAIL() << "cut=" << cut << " rejected a final-record truncation: " << error.what();
+    }
+    EXPECT_EQ(replay.cells.count("cell-a"), 1u) << "cut=" << cut;  // committed records survive
+    // Only the missing-trailing-newline cut leaves the final record whole.
+    const bool record_complete = cut == full.size() - 1;
+    EXPECT_EQ(replay.cells.count("cell-b"), record_complete ? 1u : 0u) << "cut=" << cut;
+    EXPECT_EQ(replay.torn_tail, cut != final_start && !record_complete) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+// Same sweep with a one-bit flip at every byte of a NON-final record: each
+// outcome must be exactly rejected-with-line-number or still-well-formed
+// (a flip that lands on a metric digit yields a valid record with different
+// bytes — replay cannot tell, and must not crash). Flipping the record's own
+// newline merges it into the final line, which is then torn-tail territory.
+TEST(CampaignJournal, FlippedByteSweepOverAMidFileRecord) {
+  const std::string path = temp_path("journal_flip_sweep.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal journal(path, test_header());
+    JournalCellRecord ok;
+    ok.key = "cell-a";
+    ok.status = CellStatus::Ok;
+    ok.metrics = {0.1, 2.5};
+    journal.record(ok);
+    JournalCellRecord ok_b;
+    ok_b.key = "cell-b";
+    ok_b.index = 1;
+    ok_b.status = CellStatus::Ok;
+    ok_b.metrics = {1.0, 3.5};
+    journal.record(ok_b);
+  }
+  const std::string full = slurp(path);
+  const std::size_t line_start = full.find("\n") + 1;          // cell-a, line 2 of 3
+  const std::size_t line_end = full.find('\n', line_start) + 1;  // incl. its newline
+  ASSERT_LT(line_end, full.size());
+  for (std::size_t i = line_start; i < line_end; ++i) {
+    std::string mutated = full;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    spit(path, mutated);
+    try {
+      const JournalReplay replay = replay_journal(path);
+      if (replay.torn_tail) {
+        // Only the newline flip can reach here: lines 2+3 merged into a
+        // final line whose parse failure is (by position) a torn tail.
+        EXPECT_EQ(i, line_end - 1) << "flip at " << i;
+      } else {
+        // The flip kept the record well-formed; every line was consumed.
+        EXPECT_EQ(replay.records, 2u) << "flip at " << i;
+      }
+    } catch (const std::runtime_error& error) {
+      // Rejected: the message must pinpoint the corrupt line.
+      EXPECT_NE(std::string(error.what()).find(path + ":2"), std::string::npos)
+          << "flip at " << i << ": " << error.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CampaignJournal, DuplicateKeysLastRecordWins) {
   const std::string path = temp_path("journal_dupes.jsonl");
   std::remove(path.c_str());
@@ -286,7 +380,8 @@ TEST(CampaignResume, FailedCellRerunsAndTheStoreMatchesACleanRunByteForByte) {
   options.jobs = 1;
   options.journal_path = journal;
   {
-    const ScopedEnv fault("PSCHED_FAULT_INJECT", "cell:0:throw");
+    // jobs=1 pulls cells in plan order, so after=1 is plan cell 0.
+    const ScopedFault fault("campaign.cell:throw:after=1");
     const CampaignResult faulted = run_campaign(spec, options);
     EXPECT_EQ(faulted.cells[0].status, CellStatus::Failed);
     EXPECT_NE(faulted.cells[0].error.find("injected fault"), std::string::npos);
@@ -344,7 +439,7 @@ TEST(CampaignResume, ResumeRequiresAJournal) {
 }
 
 TEST(CampaignRobustness, HangingCellTimesOutAndBecomesAStatusRow) {
-  const ScopedEnv fault("PSCHED_FAULT_INJECT", "cell:1:hang");
+  const ScopedFault fault("campaign.cell:hang:after=2");
   CampaignOptions options;
   options.jobs = 1;
   options.cell_timeout = 0.05;
@@ -370,7 +465,7 @@ TEST(CampaignRobustness, PreTrippedStopLeavesEverythingPendingAndInterrupted) {
 }
 
 TEST(CampaignRobustness, HaltAfterFirstFailureWhenNotKeepingGoing) {
-  const ScopedEnv fault("PSCHED_FAULT_INJECT", "cell:0:throw");
+  const ScopedFault fault("campaign.cell:throw:after=1");
   CampaignOptions options;
   options.jobs = 1;
   options.keep_going = false;
@@ -378,6 +473,81 @@ TEST(CampaignRobustness, HaltAfterFirstFailureWhenNotKeepingGoing) {
   EXPECT_EQ(result.cells[0].status, CellStatus::Failed);
   EXPECT_EQ(result.cells[1].status, CellStatus::Pending);
   EXPECT_FALSE(result.interrupted);  // completed (badly), not stopped
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-journal contract: journal trouble never aborts healthy simulation
+// work; it surfaces as `journal: degraded` in summary.json instead.
+
+TEST(CampaignRobustness, FailedJournalAppendDegradesInsteadOfAborting) {
+  // Hit 1 is the header append; the first cell record gets ENOSPC.
+  const ScopedFault fault("journal.append.write:errno=ENOSPC:after=2");
+  const std::string journal = temp_path("campaign_degraded_append.jsonl");
+  std::remove(journal.c_str());
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = journal;
+  const CampaignResult result = run_campaign(smoke_spec(), options);
+  EXPECT_EQ(util::fault::fired_count("journal.append.write"), 1u);  // site exercised
+  EXPECT_TRUE(result.journal_degraded);
+  EXPECT_NE(result.journal_error.find(journal), std::string::npos) << result.journal_error;
+  EXPECT_EQ(result.count(CellStatus::Ok), 2u);  // every cell still simulated
+  const std::string json = json_of(result);
+  EXPECT_NE(json.find("\"journal\": \"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"journal_error\""), std::string::npos);
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignRobustness, UnopenableJournalDegradesAndTheRunCompletes) {
+  const ScopedFault fault("journal.open:errno=EACCES");
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = temp_path("campaign_degraded_open.jsonl");
+  const CampaignResult result = run_campaign(smoke_spec(), options);
+  EXPECT_TRUE(result.journal_degraded);
+  EXPECT_EQ(result.count(CellStatus::Ok), 2u);
+  EXPECT_NE(json_of(result).find("\"journal\": \"degraded\""), std::string::npos);
+}
+
+TEST(CampaignRobustness, TransientJournalFailuresAreRetriedToSuccess) {
+  // One-shot EINTR on the append write and on the fsync: retry_io absorbs
+  // both; the journal stays healthy and complete.
+  const ScopedFault fault("journal.append.write:errno=EINTR,journal.append.fsync:errno=EINTR");
+  const std::string journal = temp_path("campaign_retried.jsonl");
+  std::remove(journal.c_str());
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = journal;
+  const CampaignResult result = run_campaign(smoke_spec(), options);
+  EXPECT_GE(util::fault::fired_count("journal.append.write"), 1u);
+  EXPECT_GE(util::fault::fired_count("journal.append.fsync"), 1u);
+  EXPECT_FALSE(result.journal_degraded);
+  EXPECT_EQ(result.count(CellStatus::Ok), 2u);
+  EXPECT_EQ(replay_journal(journal).records, 2u);  // nothing was lost
+  EXPECT_EQ(json_of(result).find("\"journal\""), std::string::npos);  // healthy = no line
+  std::remove(journal.c_str());
+}
+
+TEST(CampaignRobustness, UnreadableJournalOnResumeStaysFailLoud) {
+  const std::string journal = temp_path("campaign_resume_loud.jsonl");
+  std::remove(journal.c_str());
+  CampaignOptions options;
+  options.jobs = 1;
+  options.journal_path = journal;
+  run_campaign(smoke_spec(), options);  // healthy journaled run
+
+  const ScopedFault fault("journal.replay.read:errno=EIO");
+  options.resume = true;
+  try {
+    run_campaign(smoke_spec(), options);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    // Fail-loud leg of the trichotomy: path and errno text, no degradation.
+    EXPECT_NE(std::string(error.what()).find(journal), std::string::npos) << error.what();
+    EXPECT_NE(std::string(error.what()).find("Input/output error"), std::string::npos)
+        << error.what();
+  }
+  std::remove(journal.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// atomic_write_file durability edges: replace-in-place semantics, the stale
+// tmp-file sweep, injected failures at every syscall step (loud, with path and
+// errno), transparent retry of transient errors, and the distinct
+// "durability-of-rename unconfirmed" outcome where the NEW file stays visible.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/atomic_file.hpp"
+#include "util/fault.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace psched;
+
+struct ScopedFault {
+  explicit ScopedFault(const std::string& specs) { util::fault::arm_list(specs); }
+  ~ScopedFault() { util::fault::disarm_all(); }
+};
+
+struct TempDir {
+  fs::path dir;
+  // pid-suffixed: ctest runs each TEST as its own process, often in parallel.
+  TempDir() : dir(fs::path(testing::TempDir()) / ("atomic_file_test." + std::to_string(::getpid()))) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~TempDir() { fs::remove_all(dir); }
+  std::string path(const std::string& name) const { return (dir / name).string(); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+std::size_t tmp_siblings(const fs::path& dir) {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) ++count;
+  return count;
+}
+
+TEST(AtomicWriteFile, WritesAndReplacesWithoutLeavingTmpFiles) {
+  const TempDir tmp;
+  const std::string target = tmp.path("out.txt");
+  util::atomic_write_file(target, "first\n");
+  EXPECT_EQ(slurp(target), "first\n");
+  util::atomic_write_file(target, "second\n");
+  EXPECT_EQ(slurp(target), "second\n");
+  EXPECT_EQ(tmp_siblings(tmp.dir), 0u);
+}
+
+TEST(AtomicWriteFile, SweepsStaleTmpFilesFromOtherPidsOnly) {
+  const TempDir tmp;
+  const std::string target = tmp.path("out.txt");
+  // A crashed foreign process left its tmp behind; a same-pid name may belong
+  // to a concurrent writer in this process and must be left alone.
+  const std::string foreign = target + ".tmp.999999999.3";
+  const std::string own = target + ".tmp." + std::to_string(::getpid()) + ".999999";
+  std::ofstream(foreign) << "stale";
+  std::ofstream(own) << "mine";
+  util::atomic_write_file(target, "content\n");
+  EXPECT_FALSE(fs::exists(foreign)) << "foreign stale tmp not swept";
+  EXPECT_TRUE(fs::exists(own)) << "same-pid tmp must not be touched";
+  EXPECT_EQ(slurp(target), "content\n");
+}
+
+TEST(AtomicWriteFile, FailedWriteIsLoudAndLeavesTheOldFileIntact) {
+  const TempDir tmp;
+  const std::string target = tmp.path("out.txt");
+  util::atomic_write_file(target, "old\n");
+  const ScopedFault fault("atomic_write.write:errno=ENOSPC");
+  try {
+    util::atomic_write_file(target, "new\n");
+    FAIL() << "write failure must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("atomic_write_file: write"), std::string::npos) << what;
+    EXPECT_NE(what.find(target), std::string::npos) << "error must carry the path";
+    EXPECT_NE(what.find("No space left"), std::string::npos) << "error must carry the errno";
+  }
+  EXPECT_EQ(slurp(target), "old\n") << "failed replace must not touch the target";
+  EXPECT_EQ(tmp_siblings(tmp.dir), 0u) << "failed write must unlink its tmp";
+  EXPECT_EQ(util::fault::fired_count("atomic_write.write"), 1u);
+}
+
+TEST(AtomicWriteFile, EveryFailureStepIsLoudAndPreservesTheTarget) {
+  for (const char* spec :
+       {"atomic_write.open:errno=EACCES", "atomic_write.fsync:errno=EIO",
+        "atomic_write.close:errno=EIO", "atomic_write.rename:errno=EIO"}) {
+    const TempDir tmp;
+    const std::string target = tmp.path("out.txt");
+    util::atomic_write_file(target, "old\n");
+    const ScopedFault fault(spec);
+    EXPECT_THROW(util::atomic_write_file(target, "new\n"), std::runtime_error) << spec;
+    EXPECT_EQ(slurp(target), "old\n") << spec;
+    EXPECT_EQ(tmp_siblings(tmp.dir), 0u) << spec;
+  }
+}
+
+TEST(AtomicWriteFile, TransientFaultsAreRetriedToSuccess) {
+  const TempDir tmp;
+  const std::string target = tmp.path("out.txt");
+  const ScopedFault fault(
+      "atomic_write.open:errno=EINTR,atomic_write.write:errno=EINTR,"
+      "atomic_write.fsync:errno=EINTR,atomic_write.rename:errno=EINTR,"
+      "atomic_write.parent_fsync:errno=EINTR");
+  util::atomic_write_file(target, "content\n");
+  EXPECT_EQ(slurp(target), "content\n");
+  for (const char* point : {"atomic_write.open", "atomic_write.write", "atomic_write.fsync",
+                            "atomic_write.rename", "atomic_write.parent_fsync"})
+    EXPECT_EQ(util::fault::fired_count(point), 1u) << point;
+}
+
+TEST(AtomicWriteFile, ParentFsyncFailureIsDurabilityUnconfirmedNotAFailedWrite) {
+  const TempDir tmp;
+  const std::string target = tmp.path("out.txt");
+  util::atomic_write_file(target, "old\n");
+  const ScopedFault fault("atomic_write.parent_fsync:errno=EIO");
+  try {
+    util::atomic_write_file(target, "new\n");
+    FAIL() << "unconfirmed rename durability must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("rename durability unconfirmed"), std::string::npos) << what;
+    EXPECT_NE(what.find(target), std::string::npos) << what;
+  }
+  // The rename happened: unlike every earlier step, the NEW contents are
+  // visible — the caller learns durability is unconfirmed, nothing was lost.
+  EXPECT_EQ(slurp(target), "new\n");
+  EXPECT_EQ(tmp_siblings(tmp.dir), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Fault registry semantics: spec grammar, firing modes (after/every/p),
+// fired-count accounting, error handling for bad specs, and the compiled-in
+// point catalog the chaos harness enumerates. Each TEST runs in its own
+// process under ctest (gtest_discover_tests), so arming here cannot leak.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.hpp"
+
+namespace {
+
+using namespace psched;
+
+struct ScopedFault {
+  explicit ScopedFault(const std::string& specs) { util::fault::arm_list(specs); }
+  ~ScopedFault() { util::fault::disarm_all(); }
+};
+
+TEST(FaultRegistry, UnarmedPointsAreSilent) {
+  util::fault::disarm_all();
+  EXPECT_EQ(PSCHED_FAULT("test.unarmed"), 0);
+  EXPECT_EQ(util::fault::check("test.unarmed").action, util::fault::Action::kNone);
+  EXPECT_EQ(util::fault::fired_count("test.unarmed"), 0u);
+}
+
+TEST(FaultRegistry, DefaultModeFiresExactlyOnceOnTheFirstHit) {
+  const ScopedFault fault("test.once:errno=EIO");
+  EXPECT_EQ(PSCHED_FAULT("test.once"), EIO);
+  EXPECT_EQ(PSCHED_FAULT("test.once"), 0);
+  EXPECT_EQ(PSCHED_FAULT("test.once"), 0);
+  EXPECT_EQ(util::fault::fired_count("test.once"), 1u);
+}
+
+TEST(FaultRegistry, AfterNFiresOnlyOnTheNthHit) {
+  const ScopedFault fault("test.after:errno=ENOSPC:after=3");
+  EXPECT_EQ(PSCHED_FAULT("test.after"), 0);
+  EXPECT_EQ(PSCHED_FAULT("test.after"), 0);
+  EXPECT_EQ(PSCHED_FAULT("test.after"), ENOSPC);
+  EXPECT_EQ(PSCHED_FAULT("test.after"), 0);  // one-shot: spent after firing
+  EXPECT_EQ(util::fault::fired_count("test.after"), 1u);
+}
+
+TEST(FaultRegistry, EveryNFiresPeriodically) {
+  const ScopedFault fault("test.every:errno=EIO:every=2");
+  std::vector<int> shots;
+  for (int i = 0; i < 6; ++i) shots.push_back(PSCHED_FAULT("test.every"));
+  EXPECT_EQ(shots, (std::vector<int>{0, EIO, 0, EIO, 0, EIO}));
+  EXPECT_EQ(util::fault::fired_count("test.every"), 3u);
+}
+
+TEST(FaultRegistry, ProbabilisticModeIsDeterministicGivenTheSeed) {
+  const auto draw = [](const std::string& spec) {
+    const ScopedFault fault(spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(PSCHED_FAULT("test.prob") != 0);
+    return fires;
+  };
+  const std::vector<bool> first = draw("test.prob:errno=EIO:p=0.5:seed=42");
+  const std::vector<bool> second = draw("test.prob:errno=EIO:p=0.5:seed=42");
+  EXPECT_EQ(first, second);  // same seed, same hit order -> same decisions
+  const std::size_t fired = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fired, 50u);  // p=0.5 over 200 draws: loose sanity band
+  EXPECT_LT(fired, 150u);
+  EXPECT_NE(draw("test.prob:errno=EIO:p=0.5:seed=43"), first);
+}
+
+TEST(FaultRegistry, ErrnoAcceptsNamesAndNumbers) {
+  {
+    const ScopedFault fault("test.name:errno=ENOSPC");
+    EXPECT_EQ(PSCHED_FAULT("test.name"), ENOSPC);
+  }
+  {
+    const ScopedFault fault("test.number:errno=" + std::to_string(EACCES));
+    EXPECT_EQ(PSCHED_FAULT("test.number"), EACCES);
+  }
+}
+
+TEST(FaultRegistry, ThrowActionThrowsFromInjectButNotFromCheck) {
+  const ScopedFault fault("test.thrower:throw:every=1");
+  // check() never throws: it reports the decision for the caller to implement.
+  EXPECT_EQ(util::fault::check("test.thrower").action, util::fault::Action::kThrow);
+  try {
+    PSCHED_FAULT("test.thrower");
+    FAIL() << "inject() must throw for a throw action";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("injected fault at test.thrower"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultRegistry, OtherPointsStayUnaffectedWhileOneIsArmed) {
+  const ScopedFault fault("test.armed:errno=EIO:every=1");
+  EXPECT_EQ(PSCHED_FAULT("test.bystander"), 0);
+  EXPECT_EQ(PSCHED_FAULT("test.armed"), EIO);
+  EXPECT_EQ(util::fault::fired_count("test.bystander"), 0u);
+}
+
+TEST(FaultRegistry, ArmListArmsEverySpec) {
+  const ScopedFault fault("test.a:errno=EIO,test.b:errno=ENOSPC");
+  EXPECT_EQ(PSCHED_FAULT("test.a"), EIO);
+  EXPECT_EQ(PSCHED_FAULT("test.b"), ENOSPC);
+}
+
+TEST(FaultRegistry, BadSpecsAreRejectedLoudly) {
+  util::fault::disarm_all();
+  EXPECT_THROW(util::fault::arm("nocolon"), std::invalid_argument);
+  EXPECT_THROW(util::fault::arm("p:frobnicate"), std::invalid_argument);
+  EXPECT_THROW(util::fault::arm("p:errno=NOTANERRNO"), std::invalid_argument);
+  EXPECT_THROW(util::fault::arm("p:errno=EIO:bogusmode=3"), std::invalid_argument);
+  // A rejected arm leaves nothing armed behind.
+  EXPECT_EQ(PSCHED_FAULT("p"), 0);
+}
+
+TEST(FaultRegistry, DisarmAllZeroesCountersAndRestoresTheFastPath) {
+  {
+    const ScopedFault fault("test.reset:errno=EIO:every=1");
+    EXPECT_EQ(PSCHED_FAULT("test.reset"), EIO);
+    EXPECT_EQ(util::fault::fired_count("test.reset"), 1u);
+  }
+  EXPECT_EQ(util::fault::fired_count("test.reset"), 0u);
+  EXPECT_EQ(PSCHED_FAULT("test.reset"), 0);
+}
+
+TEST(FaultRegistry, ReportCoversCatalogAndCountsHits) {
+  const ScopedFault fault("test.reported:errno=EIO:after=2");
+  PSCHED_FAULT("test.reported");
+  PSCHED_FAULT("test.reported");
+  PSCHED_FAULT("test.reported");
+  bool found = false;
+  for (const util::fault::PointReport& point : util::fault::report()) {
+    if (point.name != "test.reported") continue;
+    found = true;
+    EXPECT_EQ(point.hits, 3u);
+    EXPECT_EQ(point.fired, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FaultCatalog, EnumeratesTheInstrumentedTree) {
+  const std::vector<std::string>& points = util::fault::catalog();
+  EXPECT_GE(points.size(), 12u);
+  for (const char* expected :
+       {"atomic_write.open", "atomic_write.write", "atomic_write.fsync", "atomic_write.close",
+        "atomic_write.rename", "atomic_write.parent_fsync", "journal.open",
+        "journal.append.write", "journal.append.fsync", "journal.replay.read", "swf.open",
+        "swf.read.line", "threadpool.submit", "campaign.cell"}) {
+    EXPECT_NE(std::find(points.begin(), points.end(), std::string(expected)), points.end())
+        << "catalog is missing " << expected;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// retry_io policy: EINTR retries immediately, EAGAIN-class errors back off,
+// permanent errors surface after exactly one attempt, and the attempt budget
+// is a hard bound.
+
+#include <cerrno>
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "util/retry.hpp"
+
+namespace {
+
+using namespace psched;
+
+// Tight backoff so the EAGAIN tests don't sleep for real.
+util::RetryPolicy fast_policy() {
+  util::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = std::chrono::milliseconds(0);
+  policy.max_backoff = std::chrono::milliseconds(0);
+  return policy;
+}
+
+TEST(RetryIo, SuccessOnTheFirstAttemptCallsOpOnce) {
+  int calls = 0;
+  const int err = util::retry_io([&] {
+    ++calls;
+    return 0;
+  });
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryIo, EintrIsReissuedUntilSuccess) {
+  int calls = 0;
+  const int err = util::retry_io([&] { return ++calls < 3 ? EINTR : 0; });
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryIo, EagainBacksOffAndSucceeds) {
+  int calls = 0;
+  const int err = util::retry_io([&] { return ++calls < 2 ? EAGAIN : 0; }, fast_policy());
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryIo, PermanentErrorsSurfaceAfterExactlyOneAttempt) {
+  int calls = 0;
+  const int err = util::retry_io([&] {
+    ++calls;
+    return ENOSPC;
+  });
+  EXPECT_EQ(err, ENOSPC);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryIo, PersistentTransientErrorExhaustsTheAttemptBudget) {
+  int calls = 0;
+  const int err = util::retry_io([&] {
+    ++calls;
+    return EINTR;
+  }, fast_policy());
+  EXPECT_EQ(err, EINTR);
+  EXPECT_EQ(calls, 5);  // == policy.max_attempts
+}
+
+TEST(RetryIo, TransientErrorThenPermanentReturnsThePermanentErrno) {
+  int calls = 0;
+  const int err = util::retry_io([&] { return ++calls == 1 ? EINTR : EIO; }, fast_policy());
+  EXPECT_EQ(err, EIO);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryIo, RetryableErrnoClassIsExactlyTheTransientSet) {
+  EXPECT_TRUE(util::retryable_errno(EINTR));
+  EXPECT_TRUE(util::retryable_errno(EAGAIN));
+  EXPECT_TRUE(util::retryable_errno(EWOULDBLOCK));
+  EXPECT_FALSE(util::retryable_errno(EIO));
+  EXPECT_FALSE(util::retryable_errno(ENOSPC));
+  EXPECT_FALSE(util::retryable_errno(EBADF));
+  EXPECT_FALSE(util::retryable_errno(0));
+}
+
+}  // namespace

@@ -274,6 +274,10 @@ int main(int argc, char** argv) {
     std::cout << "# campaign interrupted ("
               << (g_signals.load(std::memory_order_relaxed) > 0 ? "signal" : "wall budget")
               << ") — journal is durable, rerun with --resume to finish\n";
+  if (result.journal_degraded)
+    std::cout << "# journal degraded (" << result.journal_error
+              << ") — results are complete, but un-journaled cells would be "
+                 "re-simulated by --resume\n";
 
   if (!out_dir.empty()) {
     const std::string cells_path = out_dir + "/cells.csv";

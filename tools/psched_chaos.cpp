@@ -1,0 +1,442 @@
+// psched_chaos — machine-check the failure trichotomy over every registered
+// fault point.
+//
+//   psched_chaos --campaign BIN --spec SPEC --out DIR [--point NAME]
+//                [--skip-kill] [--timeout S] [--list]
+//
+// For each point in util::fault::catalog() the harness re-runs a small
+// campaign (BIN on SPEC, both normally taken from the CI smoke) with
+// PSCHED_FAULTS arming that one point, and asserts the run lands in exactly
+// one of the three sanctioned outcomes:
+//
+//   retried-to-success   transient errno (EINTR): exit 0 and a results store
+//                        byte-identical to the fault-free baseline
+//   degraded-with-status journal trouble: exit 0, cells.csv identical to the
+//                        baseline, summary.json says "journal": "degraded"
+//   failed-loudly        permanent errno: nonzero exit and a stderr message
+//                        carrying the failing path and the errno text
+//
+// plus, per point, a kill+resume leg: arm `<point>:hang`, wait for the
+// fired-count report the registry flushes the moment a hang starts, SIGKILL
+// the child, rerun (with --resume when a journal survived), and require the
+// final cells.csv / summary.json to be byte-identical to the baseline.
+//
+// The PSCHED_FAULTS_REPORT fired counts double as proof that every leg
+// actually exercised its point — a run that "passes" without its fault firing
+// is a harness bug, and fails here. A catalog point with no plan entry fails
+// the harness too, so new fault points cannot dodge chaos coverage.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string campaign;  // path to the psched_campaign binary
+  std::string spec;      // campaign spec to re-run per leg
+  std::string out;       // scratch root for per-leg directories
+  std::string only;      // --point filter (empty = all)
+  bool skip_kill = false;
+  bool list = false;
+  double timeout = 120.0;  // per-child wall budget, seconds
+};
+
+enum class Expect {
+  kSuccess,    // exit 0, stores byte-identical to the baseline
+  kDegraded,   // exit 0, cells.csv identical, summary says journal degraded
+  kLoud,       // nonzero exit, stderr carries path + errno text
+  kStatusRow,  // exit 3, the injected cell is a `failed` row in the store
+};
+
+/// One catalog point's chaos plan. Suffixes are appended to "<point>:".
+struct PointPlan {
+  const char* point;
+  const char* hard;       // permanent-failure leg spec suffix
+  Expect expect;          // outcome class of the hard leg
+  const char* errno_hint; // stderr/summary substring proving the errno text
+  const char* path_hint;  // stderr substring proving the path ("@OUT@" = leg dir)
+  const char* transient;  // retried-to-success leg ("" = none, e.g. close)
+  const char* kill;       // hang spec suffix for the kill+resume leg
+  int jobs = 1;           // threadpool.submit needs a second lane to exist
+  bool resume_context = false;  // legs run --resume on top of a clean journal
+};
+
+// clang-format off
+const PointPlan kPlans[] = {
+    {"atomic_write.open",         "errno=EACCES",         Expect::kLoud,      "Permission denied",       "@OUT@",         "errno=EINTR", "hang",         1, false},
+    {"atomic_write.write",        "errno=ENOSPC",         Expect::kLoud,      "No space left",           "@OUT@",         "errno=EINTR", "hang",         1, false},
+    {"atomic_write.fsync",        "errno=EIO",            Expect::kLoud,      "Input/output error",      "@OUT@",         "errno=EINTR", "hang",         1, false},
+    {"atomic_write.close",        "errno=EIO",            Expect::kLoud,      "Input/output error",      "@OUT@",         "",            "hang",         1, false},
+    {"atomic_write.rename",       "errno=EIO",            Expect::kLoud,      "Input/output error",      "@OUT@",         "errno=EINTR", "hang",         1, false},
+    {"atomic_write.parent_fsync", "errno=EIO",            Expect::kLoud,      "durability unconfirmed",  "@OUT@",         "errno=EINTR", "hang",         1, false},
+    {"journal.open",              "errno=EACCES",         Expect::kDegraded,  "",                        "",              "errno=EINTR", "hang",         1, false},
+    {"journal.append.write",      "errno=ENOSPC:after=2", Expect::kDegraded,  "",                        "",              "errno=EINTR", "hang:after=2", 1, false},
+    {"journal.append.fsync",      "errno=EIO:after=2",    Expect::kDegraded,  "",                        "",              "errno=EINTR", "hang:after=2", 1, false},
+    {"journal.replay.read",       "errno=EIO",            Expect::kLoud,      "Input/output error",      "journal.jsonl", "errno=EINTR", "hang",         1, true},
+    {"swf.open",                  "errno=EACCES",         Expect::kLoud,      "Permission denied",       ".swf",          "errno=EINTR", "hang",         1, false},
+    {"swf.read.line",             "errno=EIO:after=3",    Expect::kLoud,      "read failed",             ".swf",          "errno=EINTR", "hang:after=3", 1, false},
+    {"threadpool.submit",         "errno=EIO",            Expect::kSuccess,   "",                        "",              "errno=EINTR", "hang",         2, false},
+    {"campaign.cell",             "throw:after=1",        Expect::kStatusRow, "injected fault",          "",              "",            "hang:after=2", 1, false},
+};
+// clang-format on
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Parse a PSCHED_FAULTS_REPORT file ("name hits fired" per line).
+std::map<std::string, std::uint64_t> fired_counts(const std::string& path) {
+  std::map<std::string, std::uint64_t> fired;
+  std::ifstream in(path);
+  std::string name;
+  std::uint64_t hits = 0;
+  std::uint64_t count = 0;
+  while (in >> name >> hits >> count) fired[name] = count;
+  return fired;
+}
+
+struct ChildRun {
+  int exit_code = -1;     // -1: killed / timed out / never exited cleanly
+  bool killed = false;    // we SIGKILLed it (kill legs)
+  std::string stderr_text;
+  std::map<std::string, std::uint64_t> fired;
+
+  std::uint64_t fired_at(const std::string& point) const {
+    const auto it = fired.find(point);
+    return it == fired.end() ? 0 : it->second;
+  }
+};
+
+/// Fork+exec one psched_campaign run with the given PSCHED_FAULTS arming.
+/// `wait_for_hang`: poll for the registry's hang-flush report, SIGKILL, reap.
+ChildRun run_child(const Options& options, const std::string& dir, const std::string& faults,
+                   bool resume, int jobs, bool wait_for_hang) {
+  const std::string report = dir + "/fault_report.txt";
+  const std::string stderr_path = dir + "/stderr.txt";
+  std::remove(report.c_str());
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "psched_chaos: fork: " << std::strerror(errno) << '\n';
+    std::exit(2);
+  }
+  if (pid == 0) {
+    if (faults.empty())
+      ::unsetenv("PSCHED_FAULTS");
+    else
+      ::setenv("PSCHED_FAULTS", faults.c_str(), 1);
+    ::setenv("PSCHED_FAULTS_REPORT", report.c_str(), 1);
+    // psched-lint: allow(raw-file-write): child-side capture of the campaign's
+    // streams so the parent can assert on stderr, not a results store
+    const int err_fd = ::open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (err_fd >= 0) ::dup2(err_fd, 2);
+    // psched-lint: allow(raw-file-write): /dev/null sink for the child's stdout
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) ::dup2(null_fd, 1);
+    std::vector<std::string> args = {options.campaign, options.spec, "--out", dir,
+                                     "--jobs", std::to_string(jobs)};
+    if (resume) args.emplace_back("--resume");
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(options.campaign.c_str(), argv.data());
+    std::_Exit(127);
+  }
+
+  ChildRun run;
+  const auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double>(options.timeout));
+  bool exited = false;
+  int status = 0;
+  while (Clock::now() < deadline) {
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) {
+      exited = true;
+      break;
+    }
+    if (wait_for_hang && fs::exists(report)) break;  // the hang flushed its report
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!exited) {
+    // Kill leg reaching its hang, or a run blowing the wall budget: either
+    // way the child dies here; the caller tells the cases apart via `killed`
+    // plus the fired counts.
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    run.killed = true;
+  } else if (WIFEXITED(status)) {
+    run.exit_code = WEXITSTATUS(status);
+  }
+  run.stderr_text = slurp(stderr_path);
+  run.fired = fired_counts(report);
+  return run;
+}
+
+/// Fresh scratch dir for one leg.
+std::string leg_dir(const Options& options, const std::string& point, const char* leg) {
+  const std::string dir = options.out + "/" + point + "." + leg;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct Baseline {
+  std::string cells;
+  std::string summary;
+};
+
+bool stores_match(const std::string& dir, const Baseline& baseline, std::string& why) {
+  if (slurp(dir + "/cells.csv") != baseline.cells) {
+    why = "cells.csv differs from the baseline";
+    return false;
+  }
+  if (slurp(dir + "/summary.json") != baseline.summary) {
+    why = "summary.json differs from the baseline";
+    return false;
+  }
+  return true;
+}
+
+int g_failures = 0;
+
+void report_leg(const std::string& point, const char* leg, bool ok, const std::string& detail) {
+  std::cout << (ok ? "  ok   " : "  FAIL ") << point << " [" << leg << "]"
+            << (detail.empty() ? "" : ": " + detail) << '\n';
+  if (!ok) ++g_failures;
+}
+
+/// Run the clean pass a --resume leg builds on (journal in place, exit 0).
+bool prime_resume_context(const Options& options, const std::string& dir) {
+  const ChildRun clean = run_child(options, dir, "", /*resume=*/false, 1, false);
+  return clean.exit_code == 0;
+}
+
+void run_hard_leg(const Options& options, const PointPlan& plan, const Baseline& baseline) {
+  const std::string dir = leg_dir(options, plan.point, "hard");
+  if (plan.resume_context && !prime_resume_context(options, dir)) {
+    report_leg(plan.point, "hard", false, "priming clean run failed");
+    return;
+  }
+  const std::string faults = std::string(plan.point) + ":" + plan.hard;
+  const ChildRun run =
+      run_child(options, dir, faults, plan.resume_context, plan.jobs, false);
+
+  std::string why;
+  bool ok = false;
+  if (run.fired_at(plan.point) == 0) {
+    why = "fault never fired";
+  } else {
+    switch (plan.expect) {
+      case Expect::kSuccess:
+        ok = run.exit_code == 0 && stores_match(dir, baseline, why);
+        if (!ok && why.empty()) why = "exit " + std::to_string(run.exit_code);
+        break;
+      case Expect::kDegraded: {
+        const std::string summary = slurp(dir + "/summary.json");
+        ok = run.exit_code == 0 && slurp(dir + "/cells.csv") == baseline.cells &&
+             contains(summary, "\"journal\": \"degraded\"");
+        if (!ok)
+          why = "exit " + std::to_string(run.exit_code) +
+                (contains(summary, "degraded") ? "" : ", no degraded marker");
+        break;
+      }
+      case Expect::kLoud: {
+        std::string path_hint = plan.path_hint;
+        if (path_hint == "@OUT@") path_hint = dir;
+        ok = run.exit_code != 0 && run.exit_code != -1 &&
+             contains(run.stderr_text, plan.errno_hint) && contains(run.stderr_text, path_hint);
+        if (!ok)
+          why = "exit " + std::to_string(run.exit_code) + ", stderr: " +
+                (run.stderr_text.empty() ? "<empty>" : run.stderr_text.substr(0, 200));
+        // Satellite contract: a parent-fsync failure happens after the
+        // rename, so the renamed store must be in place and complete.
+        if (ok && std::string(plan.point) == "atomic_write.parent_fsync" &&
+            slurp(dir + "/cells.csv") != baseline.cells) {
+          ok = false;
+          why = "renamed cells.csv missing or different after parent-fsync failure";
+        }
+        break;
+      }
+      case Expect::kStatusRow: {
+        const std::string cells = slurp(dir + "/cells.csv");
+        ok = run.exit_code == 3 && contains(cells, ",failed") &&
+             contains(slurp(dir + "/summary.json"), plan.errno_hint);
+        if (!ok) why = "exit " + std::to_string(run.exit_code) + ", no failed status row";
+        break;
+      }
+    }
+  }
+  report_leg(plan.point, "hard", ok, why);
+}
+
+void run_transient_leg(const Options& options, const PointPlan& plan, const Baseline& baseline) {
+  const std::string dir = leg_dir(options, plan.point, "transient");
+  if (plan.resume_context && !prime_resume_context(options, dir)) {
+    report_leg(plan.point, "transient", false, "priming clean run failed");
+    return;
+  }
+  const std::string faults = std::string(plan.point) + ":" + plan.transient;
+  const ChildRun run =
+      run_child(options, dir, faults, plan.resume_context, plan.jobs, false);
+  std::string why;
+  bool ok = false;
+  if (run.fired_at(plan.point) == 0)
+    why = "fault never fired";
+  else if (run.exit_code != 0)
+    why = "exit " + std::to_string(run.exit_code) + ", stderr: " +
+          (run.stderr_text.empty() ? "<empty>" : run.stderr_text.substr(0, 200));
+  else
+    ok = stores_match(dir, baseline, why);
+  report_leg(plan.point, "transient", ok, why);
+}
+
+void run_kill_leg(const Options& options, const PointPlan& plan, const Baseline& baseline) {
+  const std::string dir = leg_dir(options, plan.point, "kill");
+  if (plan.resume_context && !prime_resume_context(options, dir)) {
+    report_leg(plan.point, "kill", false, "priming clean run failed");
+    return;
+  }
+  const std::string faults = std::string(plan.point) + ":" + plan.kill;
+  const ChildRun hung =
+      run_child(options, dir, faults, plan.resume_context, plan.jobs, /*wait_for_hang=*/true);
+  if (!hung.killed || hung.fired_at(plan.point) == 0) {
+    report_leg(plan.point, "kill", false,
+               hung.killed ? "hang never fired" : "child exited before hanging, exit " +
+                                                      std::to_string(hung.exit_code));
+    return;
+  }
+  // Recovery: resume when a journal survived the kill, otherwise start over.
+  // Either way the rebuilt store must match the baseline byte for byte.
+  const bool resume = fs::exists(dir + "/journal.jsonl");
+  const ChildRun redo = run_child(options, dir, "", resume, 1, false);
+  std::string why;
+  bool ok = false;
+  if (redo.exit_code != 0)
+    why = std::string(resume ? "--resume" : "fresh rerun") + " exited " +
+          std::to_string(redo.exit_code) + ", stderr: " +
+          (redo.stderr_text.empty() ? "<empty>" : redo.stderr_text.substr(0, 200));
+  else
+    ok = stores_match(dir, baseline, why);
+  report_leg(plan.point, resume ? "kill+resume" : "kill+rerun", ok, why);
+}
+
+int usage(int code) {
+  std::cout << "usage: psched_chaos --campaign BIN --spec SPEC --out DIR\n"
+               "                    [--point NAME] [--skip-kill] [--timeout S] [--list]\n"
+               "  --campaign BIN  psched_campaign binary to drive\n"
+               "  --spec SPEC     campaign spec each leg re-runs\n"
+               "  --out DIR       scratch root (wiped per leg subdirectory)\n"
+               "  --point NAME    only this fault point\n"
+               "  --skip-kill     skip the kill+resume legs\n"
+               "  --timeout S     per-child wall budget (default 120)\n"
+               "  --list          print the fault-point catalog and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "psched_chaos: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--campaign") options.campaign = value();
+    else if (arg == "--spec") options.spec = value();
+    else if (arg == "--out") options.out = value();
+    else if (arg == "--point") options.only = value();
+    else if (arg == "--skip-kill") options.skip_kill = true;
+    else if (arg == "--timeout") options.timeout = std::stod(value());
+    else if (arg == "--list") options.list = true;
+    else if (arg == "--help" || arg == "-h") return usage(0);
+    else {
+      std::cerr << "psched_chaos: unknown argument " << arg << '\n';
+      return usage(2);
+    }
+  }
+
+  if (options.list) {
+    for (const std::string& point : psched::util::fault::catalog()) std::cout << point << '\n';
+    return 0;
+  }
+  if (options.campaign.empty() || options.spec.empty() || options.out.empty()) return usage(2);
+
+  // Every catalog point must have a chaos plan — adding a fault point without
+  // chaos coverage is an error by construction.
+  std::set<std::string> planned;
+  for (const PointPlan& plan : kPlans) planned.insert(plan.point);
+  bool covered = true;
+  for (const std::string& point : psched::util::fault::catalog()) {
+    if (planned.count(point) == 0) {
+      std::cerr << "psched_chaos: catalog point '" << point << "' has no chaos plan\n";
+      covered = false;
+    }
+  }
+  if (!covered) return 2;
+
+  fs::create_directories(options.out);
+
+  // Fault-free baseline: the byte-exact store every success/degraded/kill leg
+  // is compared against.
+  const std::string baseline_dir = leg_dir(options, "baseline", "run");
+  const ChildRun base = run_child(options, baseline_dir, "", false, 1, false);
+  if (base.exit_code != 0) {
+    std::cerr << "psched_chaos: baseline run failed (exit " << base.exit_code << ")\n"
+              << base.stderr_text;
+    return 2;
+  }
+  Baseline baseline;
+  baseline.cells = slurp(baseline_dir + "/cells.csv");
+  baseline.summary = slurp(baseline_dir + "/summary.json");
+  if (baseline.cells.empty() || baseline.summary.empty()) {
+    std::cerr << "psched_chaos: baseline produced an empty store\n";
+    return 2;
+  }
+
+  std::cout << "psched_chaos: " << psched::util::fault::catalog().size()
+            << " fault points, baseline ok\n";
+  for (const PointPlan& plan : kPlans) {
+    if (!options.only.empty() && options.only != plan.point) continue;
+    run_hard_leg(options, plan, baseline);
+    if (plan.transient[0] != '\0') run_transient_leg(options, plan, baseline);
+    if (!options.skip_kill && plan.kill[0] != '\0') run_kill_leg(options, plan, baseline);
+  }
+
+  if (g_failures > 0) {
+    std::cout << "psched_chaos: " << g_failures << " leg(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "psched_chaos: all legs passed\n";
+  return 0;
+}

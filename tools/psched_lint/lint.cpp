@@ -28,6 +28,7 @@ constexpr RuleInfo kRules[] = {
     {Rule::kSchedulerClone, "scheduler-clone"},
     {Rule::kRawFileWrite, "raw-file-write"},
     {Rule::kUnorderedIter, "unordered-iter"},
+    {Rule::kRawFaultEnv, "raw-fault-env"},
     {Rule::kBadSuppression, "bad-suppression"},
 };
 
@@ -50,6 +51,13 @@ constexpr Sanction kSanctions[] = {
     // the journal's O_APPEND fd are the sanctioned raw-write call sites.
     {Rule::kRawFileWrite, "src/util/atomic_file.cpp"},
     {Rule::kRawFileWrite, "src/scenario/journal.cpp"},
+    // The fault registry is the one reader of PSCHED_FAULTS /
+    // PSCHED_FAULTS_REPORT: arming is parsed exactly once at static init so
+    // every fault point sees one consistent view.
+    {Rule::kRawFaultEnv, "src/util/fault.cpp"},
+    // The chaos harness bounds *child process* wall time (hang detection,
+    // kill legs); like StopToken deadlines, none of it feeds results.
+    {Rule::kWallClock, "tools/psched_chaos.cpp"},
 };
 
 bool is_sanctioned(Rule rule, const std::string& path) {
@@ -72,12 +80,19 @@ struct Comment {
   std::string text;
 };
 
+struct Literal {
+  int line = 0;       ///< line the string literal starts on
+  std::string text;   ///< contents, escapes kept verbatim
+};
+
 // Replaces comments, string/char literal contents, and preprocessor
 // directives with spaces so the tokenizer only ever sees code. Newlines are
-// kept, so token line numbers match the original file.
+// kept, so token line numbers match the original file. String literal texts
+// are preserved out-of-band for the rules that need them (raw-fault-env).
 struct StripResult {
   std::string code;
   std::vector<Comment> comments;
+  std::vector<Literal> literals;
 };
 
 StripResult strip(const std::string& src) {
@@ -92,6 +107,7 @@ StripResult strip(const std::string& src) {
   bool line_has_code = false;  // a non-whitespace code char seen on this line
   std::string raw_delim;       // raw string closing delimiter: )delim"
   Comment current;
+  Literal literal;
 
   std::size_t i = 0;
   while (i < src.size()) {
@@ -123,12 +139,14 @@ StripResult strip(const std::string& src) {
           while (j < src.size() && src[j] != '(') delim += src[j++];
           raw_delim = ")" + delim + "\"";
           out.code[i] = '"';  // keep a placeholder so the literal stays one token
+          literal = Literal{line, ""};
           state = State::kRawString;
           i = j + 1;
           continue;
         }
         if (c == '"') {
           out.code[i] = '"';
+          literal = Literal{line, ""};
           state = State::kString;
           line_has_code = true;
           ++i;
@@ -178,15 +196,21 @@ StripResult strip(const std::string& src) {
         continue;
       case State::kString:
         if (c == '\\' && next != '\0') {
+          literal.text += c;
+          literal.text += next;
           i += 2;
           continue;
         }
         if (c == '"') {
           out.code[i] = '"';
+          out.literals.push_back(literal);
           state = State::kCode;
         } else if (c == '\n') {
           ++line;  // unterminated; keep line counts honest
+          out.literals.push_back(literal);
           state = State::kCode;
+        } else {
+          literal.text += c;
         }
         ++i;
         continue;
@@ -208,10 +232,12 @@ StripResult strip(const std::string& src) {
         if (c == '\n') ++line;
         if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
           out.code[i + raw_delim.size() - 1] = '"';
+          out.literals.push_back(literal);
           i += raw_delim.size();
           state = State::kCode;
           continue;
         }
+        literal.text += c;
         ++i;
         continue;
       case State::kPreproc:
@@ -649,6 +675,31 @@ void rule_unordered_iter(const std::vector<Token>& tokens, const std::vector<Tok
   }
 }
 
+// Rule raw-fault-env: the PR 9 fault-injection contract. src/util/fault.cpp
+// parses PSCHED_FAULTS / PSCHED_FAULTS_REPORT exactly once at static init, so
+// every fault point shares one consistent arming view and chaos runs are
+// reproducible. A stray getenv("PSCHED_FAULT*") elsewhere re-reads the
+// environment at some later, racy point and silently diverges from the
+// registry — query util::fault (check / inject / report) instead. Setting the
+// variables (setenv in a test or harness) is fine; only reads are owned.
+void rule_raw_fault_env(const std::vector<Token>& tokens, const std::vector<Literal>& literals,
+                        const std::string& file, std::vector<Finding>& out) {
+  for (const Literal& literal : literals) {
+    if (literal.text.compare(0, 12, "PSCHED_FAULT") != 0) continue;
+    bool env_read = false;
+    for (const Token& t : tokens)
+      if ((t.line == literal.line || t.line + 1 == literal.line) &&
+          any_of_idents(t, {"getenv", "secure_getenv"}))
+        env_read = true;
+    if (env_read)
+      add(out, file, literal.line, Rule::kRawFaultEnv,
+          "getenv(\"" + literal.text +
+              "\") outside the fault registry — PSCHED_FAULTS is parsed once at startup "
+              "by src/util/fault.cpp; query util::fault (check/inject/report) instead of "
+              "re-reading the environment");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
@@ -759,6 +810,8 @@ std::vector<Finding> lint_file(const FileInput& input) {
   if (!is_sanctioned(Rule::kRawFileWrite, input.path))
     rule_raw_file_write(tokens, input.path, findings);
   rule_unordered_iter(tokens, header_tokens, input.path, findings);
+  if (!is_sanctioned(Rule::kRawFaultEnv, input.path))
+    rule_raw_fault_env(tokens, stripped.literals, input.path, findings);
 
   std::vector<Suppression> suppressions;
   parse_suppressions(stripped.comments, input.path, suppressions, findings);

@@ -25,6 +25,7 @@ enum class Rule {
   kSchedulerClone,  ///< Scheduler subclass without a clone() override
   kRawFileWrite,    ///< direct file writes outside util::atomic_write_file
   kUnorderedIter,   ///< iterating an unordered container without justification
+  kRawFaultEnv,     ///< getenv("PSCHED_FAULT*") outside the fault registry
   kBadSuppression,  ///< malformed psched-lint comment (diagnostic, not a contract)
 };
 

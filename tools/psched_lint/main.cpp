@@ -35,6 +35,8 @@ void print_rules() {
       {Rule::kRawFileWrite,
        "direct file writes outside util::atomic_write_file (durability contract)"},
       {Rule::kUnorderedIter, "unordered-container iteration without a sorted order or a reason"},
+      {Rule::kRawFaultEnv,
+       "getenv(\"PSCHED_FAULT*\") outside the fault registry (single-parse arming contract)"},
   };
   for (const Entry& entry : entries)
     std::printf("%-18s %s\n", psched::lint::rule_name(entry.rule), entry.summary);

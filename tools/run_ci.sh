@@ -8,10 +8,14 @@
 #     4. compile-gate the opt-in experiment/example binaries under -Werror
 #     5. a one-spec campaign smoke run (SWF replay of the committed sample
 #        trace), checked for a non-empty results store
-#     6. a kill-and-resume smoke: SIGKILL the campaign mid-cell (fault-
-#        injected hang), then --resume and require the results store to be
-#        byte-identical to the uninterrupted run in step 5
-#     7. an archive-scale replay smoke: a ~50k-job synthetic trace exported
+#     6. a kill-and-resume smoke: SIGKILL the campaign mid-cell (a
+#        PSCHED_FAULTS-injected hang), then --resume and require the results
+#        store to be byte-identical to the uninterrupted run in step 5
+#     7. the chaos harness: psched_chaos re-runs the smoke campaign once per
+#        registered fault point (hard-errno, transient and kill+resume legs)
+#        and asserts every failure lands in the retried / degraded /
+#        fail-loud trichotomy with byte-identical recovered stores
+#     8. an archive-scale replay smoke: a ~50k-job synthetic trace exported
 #        to SWF and replayed through a campaign with the forked
 #        (policy-knowledge) FST under a wall budget, with the eager- and
 #        streaming-reader stores diffed byte-for-byte
@@ -68,7 +72,7 @@ run_tier1() {
   # and the final store must be byte-identical to the uninterrupted run above.
   RESUME_OUT="$BUILD/campaign-resume-smoke"
   rm -rf "$RESUME_OUT"
-  PSCHED_FAULT_INJECT=cell:1:hang \
+  PSCHED_FAULTS="campaign.cell:hang:after=2" \
     "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec \
     --out "$RESUME_OUT" --jobs 1 --keep-going >/dev/null 2>&1 &
   CAMPAIGN_PID=$!
@@ -83,6 +87,16 @@ run_tier1() {
     --out "$RESUME_OUT" --jobs 1 --resume
   cmp "$SMOKE_OUT/cells.csv" "$RESUME_OUT/cells.csv"
   cmp "$SMOKE_OUT/summary.json" "$RESUME_OUT/summary.json"
+
+  echo "== chaos harness: trichotomy over every fault point =="
+  # Every registered point, three legs each (hard errno, transient EINTR,
+  # hang+SIGKILL+resume), each child capped at 60s so a regressed hang cannot
+  # stall the gate. The harness exits nonzero if any point has no plan, never
+  # fires, or lands outside the trichotomy.
+  CHAOS_OUT="$BUILD/chaos-smoke"
+  rm -rf "$CHAOS_OUT"
+  "$BUILD"/psched_chaos --campaign "$BUILD"/psched_campaign \
+    --spec examples/campaigns/swf_replay.spec --out "$CHAOS_OUT" --timeout 60
 
   echo "== archive-scale replay smoke (~50k jobs, forked FST) =="
   # Generate a ~50k-job synthetic trace, export it to SWF, and replay it
