@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace psched {
 
 ConservativeScheduler::ConservativeScheduler(ConservativeConfig config) : config_(config) {}
@@ -62,6 +64,7 @@ void ConservativeScheduler::compression_pass(Time now) {
 }
 
 void ConservativeScheduler::full_replan(Time now) {
+  obs::count(obs::Counter::kSchedReplanFull);
   seed_running_usage(now);
   Profile& plan = *plan_;
 
@@ -108,6 +111,9 @@ void ConservativeScheduler::full_replan(Time now) {
 }
 
 bool ConservativeScheduler::incremental_replan(Time now) {
+  // Counts attempts: a false return falls through to full_replan, so
+  // full + incremental together bound the replan work actually done.
+  obs::count(obs::Counter::kSchedReplanIncremental);
   Profile& plan = *plan_;
 
   // A completion whose planned usage extends past now frees future capacity.

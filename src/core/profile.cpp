@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace psched {
 
 namespace {
@@ -431,7 +433,27 @@ std::size_t Profile::gallop_time(std::size_t i, Time t) const {
   return static_cast<std::size_t>(std::distance(steps_.begin(), it));
 }
 
+namespace {
+
+/// Per-query gap-index tallies, flushed once on every exit path so the probe
+/// loops stay atomic-free; each flush line is a single relaxed load when
+/// tracing is disarmed. `credit` counts grants pre-cap (the raw skip reward,
+/// before kProbeCreditCap clamps the balance).
+struct GapIndexFlush {
+  std::uint64_t probes = 0;
+  std::uint64_t skips = 0;
+  std::uint64_t credit = 0;
+  ~GapIndexFlush() {
+    obs::count(obs::Counter::kGapIndexProbes, probes);
+    obs::count(obs::Counter::kGapIndexSkips, skips);
+    obs::count(obs::Counter::kGapIndexCreditEarned, credit);
+  }
+};
+
+}  // namespace
+
 std::size_t Profile::index_first_blocked_before(std::size_t l, Time end, NodeCount nodes) const {
+  GapIndexFlush tally;
   const std::size_t n = steps_.size();
   const std::size_t buckets = bucket_dirty_.size();
   std::size_t i = l;
@@ -446,11 +468,14 @@ std::size_t Profile::index_first_blocked_before(std::size_t l, Time end, NodeCou
   while (i < n && steps_[i].at < end) {
     if (credit > 0 && steps_[i].at >= next_bucket) {
       --credit;
+      ++tally.probes;
       auto k = static_cast<std::size_t>((steps_[i].at - bucket_time0_) >> bucket_shift_);
       const std::size_t k0 = k;
       while (k < buckets && bucket_clear(k, nodes)) ++k;
       if (k >= buckets) return kIndexNone;  // no blocker anywhere ahead
       if (k - k0 >= kMinSkipBuckets) {
+        ++tally.skips;
+        tally.credit += (k - k0) >> 2;
         credit = std::min(kProbeCreditCap, credit + static_cast<int>((k - k0) >> 2));
         const Time t = bucket_time0_ + (static_cast<Time>(k) << bucket_shift_);
         if (t >= end) return kIndexNone;  // next possible blocker is past the window
@@ -467,6 +492,7 @@ std::size_t Profile::index_first_blocked_before(std::size_t l, Time end, NodeCou
 }
 
 Time Profile::earliest_fit_indexed(Time earliest, Time duration, NodeCount nodes) const {
+  GapIndexFlush tally;
   index_sync();
   // The exact sliding-window pass of the linear scan, accelerated at bucket
   // boundaries:
@@ -505,12 +531,15 @@ Time Profile::earliest_fit_indexed(Time earliest, Time duration, NodeCount nodes
     ++i;
     if (credit > 0 && steps_[i].at >= next_bucket) {
       --credit;
+      ++tally.probes;
       auto k = static_cast<std::size_t>((steps_[i].at - bucket_time0_) >> bucket_shift_);
       const std::size_t k0 = k;
       if (open) {
         // Swallow whole clear buckets; only long runs pay for the jump.
         while (k < buckets && bucket_clear(k, nodes)) ++k;
         if (k - k0 >= kMinSkipBuckets || k >= buckets) {
+          ++tally.skips;
+          tally.credit += (k - k0) >> 2;
           credit = std::min(kProbeCreditCap, credit + static_cast<int>((k - k0) >> 2));
           if (k >= buckets) {
             i = n - 1;  // everything to the tail is skippable
@@ -560,6 +589,8 @@ Time Profile::earliest_fit_indexed(Time earliest, Time duration, NodeCount nodes
           }
           ++k;
         }
+        ++tally.skips;
+        tally.credit += (k - k0) >> 1;
         credit = std::min(kProbeCreditCap, credit + static_cast<int>((k - k0) >> 1));
         // Resume the exact linear machine at the covering step of `resume`
         // (a run start is always a breakpoint or a proven-blocked instant).

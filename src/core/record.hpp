@@ -4,6 +4,7 @@
 // plain data, shared between the engine (producer) and the metrics layer
 // (consumer).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,12 @@ struct SimulationResult {
   double busy_proc_seconds = 0.0;  ///< integral of running processors
   /// Integral of min(queued demand, idle processors) — Eq. 4 numerator.
   double loc_proc_seconds = 0.0;
+
+  /// Deterministic run-shape counts (events consumed, collect_starts
+  /// batches), maintained by the engine for per-cell breakdowns. Not a
+  /// metric: never serialized into a results store.
+  std::uint64_t events_delivered = 0;
+  std::uint64_t scheduler_invocations = 0;
 
   Time makespan() const {
     return (first_start == kNoTime || last_finish == kNoTime) ? 0 : last_finish - first_start;

@@ -1,0 +1,15 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace psched::obs {
+
+std::uint64_t now_us() {
+  // steady_clock, not system_clock: span durations must survive NTP steps,
+  // and nothing observability emits ever needs calendar time.
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(since_epoch).count());
+}
+
+}  // namespace psched::obs

@@ -1,0 +1,17 @@
+#pragma once
+// The one sanctioned wall-clock reader. Every timing read in the tree —
+// span tracing, per-cell wall_seconds — funnels through now_us() so the
+// wall-clock lint rule can pin the contract: host time never feeds a
+// simulation result, it only ever annotates diagnostics (trace files, the
+// summary.json "breakdown" section, --stats tables). src/obs/clock.cpp is on
+// the rule's sanctioned-path list; nothing else under src/ may touch a clock.
+
+#include <cstdint>
+
+namespace psched::obs {
+
+/// Monotonic microseconds since an arbitrary process-local epoch. Only
+/// meaningful as a difference between two reads in the same process.
+std::uint64_t now_us();
+
+}  // namespace psched::obs

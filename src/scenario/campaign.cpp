@@ -13,6 +13,7 @@
 
 #include "metrics/fst.hpp"
 #include "metrics/selection.hpp"
+#include "obs/obs.hpp"
 #include "sim/experiment.hpp"
 #include "util/fault.hpp"
 #include "util/hash.hpp"
@@ -170,8 +171,13 @@ Workload build_workload(const WorkloadSpec& spec, std::uint64_t seed,
 }
 
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options) {
+  obs::Span campaign_span("campaign");
+  if (obs::armed()) campaign_span.set_arg(spec.name);
   CampaignResult result;
   result.spec = spec;
+  // Sampled once: a breakdown collected under a mid-run arming change would
+  // be partial, and the summary block must match what the cells recorded.
+  result.breakdown_enabled = obs::armed();
   result.plan = expand_campaign(spec);
   const std::size_t n = result.plan.cells.size();
 
@@ -180,6 +186,8 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   std::vector<std::pair<std::uint64_t, Workload>> workloads;
   std::vector<std::uint64_t> workload_fps;
   for (const std::uint64_t seed : result.plan.seeds) {
+    obs::Span build_span("workload-build");
+    if (obs::armed()) build_span.set_arg("seed=" + std::to_string(seed));
     workload::SwfReadResult swf_info;
     const bool want_swf = spec.workload.source == WorkloadSpec::Source::Swf && !result.swf_info;
     workloads.emplace_back(seed, build_workload(spec.workload, seed,
@@ -213,6 +221,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   if (options.resume) {
     if (options.journal_path.empty())
       throw std::runtime_error("campaign resume requires a journal path");
+    obs::Span replay_span("journal-replay");
     JournalReplay replay = replay_journal(options.journal_path);
     if (replay.header.spec_fingerprint != spec_fp)
       throw std::runtime_error(options.journal_path +
@@ -266,6 +275,10 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   bool halted = false;  // keep_going=false tripped by a failed cell
   for (const Group& group : groups) {
     if (halted || options.stop.stop_requested()) break;  // rest stays Pending
+    obs::Span group_span("group");
+    if (obs::armed())
+      group_span.set_arg("seed=" + std::to_string(group.seed) +
+                         " decay=" + format_round_trip_double(group.decay));
 
     // Restore journaled-Ok cells without simulating; collect the rest.
     std::vector<std::size_t> pending_positions;
@@ -364,6 +377,21 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
         } catch (...) {
           cell.status = CellStatus::Failed;
           cell.error = "unknown error";
+        }
+      }
+      if (result.breakdown_enabled) {
+        CellResult::Breakdown& b = cell.breakdown;
+        b.collected = true;
+        b.cache_hit = outcome.cache_hit;
+        b.wall_seconds = outcome.wall_seconds;
+        if (outcome.result != nullptr) {
+          b.events_delivered = outcome.result->simulation.events_delivered;
+          b.scheduler_invocations = outcome.result->simulation.scheduler_invocations;
+          b.sim_makespan_seconds = static_cast<double>(outcome.result->simulation.makespan());
+          b.fst_forks = outcome.result->fst_stats.forks;
+          b.fst_drained = outcome.result->fst_stats.drained;
+          b.fst_resolved_from_master = outcome.result->fst_stats.resolved_from_master;
+          b.fst_peak_batch_bytes = outcome.result->fst_stats.peak_batch_bytes;
         }
       }
       ++result.simulated_cells;
@@ -516,6 +544,34 @@ void write_summary_json(const CampaignResult& result, std::ostream& out) {
     first_error = false;
   }
   out << "],\n";
+  // Observability block, present only when the campaign ran with obs armed.
+  // Emitted as a contiguous group of lines whose delimiters appear nowhere
+  // else in this writer, so the byte-identity contract is checkable with
+  //   sed '/^  "breakdown": \[$/,/^  \],$/d' summary.json
+  // (the CI trace leg and tests/test_obs.cpp do exactly that).
+  if (result.breakdown_enabled) {
+    out << "  \"breakdown\": [\n";
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      const CellResult& cell = result.cells[i];
+      const CellResult::Breakdown& b = cell.breakdown;
+      const char* provenance = cell.restored      ? "journal"
+                               : !b.collected     ? "none"
+                               : b.cache_hit      ? "cache"
+                                                  : "computed";
+      out << "    {\"index\": " << cell.cell.index << ", \"policy\": \""
+          << json_escape(cell.cell.policy.display_name()) << "\", \"seed\": " << cell.cell.seed
+          << ", \"status\": \"" << cell_status_name(cell.status) << "\", \"provenance\": \""
+          << provenance << "\", \"wall_seconds\": " << format_round_trip_double(b.wall_seconds)
+          << ", \"events_delivered\": " << b.events_delivered
+          << ", \"scheduler_invocations\": " << b.scheduler_invocations
+          << ", \"sim_makespan_seconds\": " << format_round_trip_double(b.sim_makespan_seconds)
+          << ", \"fst_forks\": " << b.fst_forks << ", \"fst_drained\": " << b.fst_drained
+          << ", \"fst_resolved_from_master\": " << b.fst_resolved_from_master
+          << ", \"fst_peak_batch_bytes\": " << b.fst_peak_batch_bytes << "}"
+          << (i + 1 != result.cells.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n";
+  }
   out << "  \"seeds\": [";
   for (std::size_t i = 0; i < result.plan.seeds.size(); ++i)
     out << (i != 0 ? ", " : "") << result.plan.seeds[i];

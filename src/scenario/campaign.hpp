@@ -68,6 +68,22 @@ struct CellResult {
   std::vector<double> metrics;  ///< spec.metrics order; Ok cells only
   std::string error;            ///< failure/timeout/cancellation detail
   bool restored = false;        ///< replayed from the journal, not simulated
+  /// Per-cell observability, collected only while obs tracing is armed
+  /// (CampaignResult::breakdown_enabled). Never feeds metrics or aggregates —
+  /// the result rows stay byte-identical traced vs untraced.
+  struct Breakdown {
+    bool collected = false;      ///< this cell ran while obs was armed
+    bool cache_hit = false;      ///< served by the experiment cache/single-flight
+    double wall_seconds = 0.0;   ///< lane wall time (errors included)
+    std::uint64_t events_delivered = 0;
+    std::uint64_t scheduler_invocations = 0;
+    double sim_makespan_seconds = 0.0;
+    std::uint64_t fst_forks = 0;
+    std::uint64_t fst_drained = 0;
+    std::uint64_t fst_resolved_from_master = 0;
+    std::uint64_t fst_peak_batch_bytes = 0;
+  };
+  Breakdown breakdown;
 };
 
 /// One policy cell aggregated across the replicate seeds.
@@ -102,6 +118,10 @@ struct CampaignResult {
   /// went unjournaled. Results-store writes are never degraded — they throw.
   bool journal_degraded = false;
   std::string journal_error;  ///< first journal failure, when degraded
+  /// True when obs tracing was armed while the campaign ran: cell breakdowns
+  /// were collected and write_summary_json emits its "breakdown" section (a
+  /// strippable block — see docs/observability.md).
+  bool breakdown_enabled = false;
   /// Per-seed trace shape, for banners: jobs and machine size.
   struct TraceInfo {
     std::uint64_t seed = 0;

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/fault.hpp"
 #include "util/hash.hpp"
 #include "util/retry.hpp"
@@ -319,6 +320,7 @@ CampaignJournal::~CampaignJournal() {
 }
 
 void CampaignJournal::append_line(const std::string& line) {
+  obs::count(obs::Counter::kJournalAppends);
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t off = 0;
   while (off < line.size()) {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace psched::sim {
 
 SimulationEngine::SimulationEngine(const Workload& workload, EngineConfig config)
@@ -357,6 +359,23 @@ std::size_t SimulationEngine::fork_footprint_bytes() const {
 }
 
 void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
+  // Count events/invocations in locals (no atomics in the hot loop) and
+  // flush once per run_loop call — the destructor also runs on the early
+  // fork return and on SimulationCancelled, so partial passes still report.
+  // The obs bumps are each one relaxed load when tracing is disarmed.
+  struct CounterFlush {
+    explicit CounterFlush(SimulationResult* r) : result(r) {}
+    SimulationResult* result;
+    std::uint64_t events = 0;
+    std::uint64_t invocations = 0;
+    ~CounterFlush() {
+      result->events_delivered += events;
+      result->scheduler_invocations += invocations;
+      obs::count(obs::Counter::kEngineEventsDelivered, events);
+      obs::count(obs::Counter::kEngineSchedulerInvocations, invocations);
+    }
+  } flush{&result_};
+
   std::vector<JobId> starts;
   std::optional<PendingEvent> pending;
   while ((pending = peek_event())) {
@@ -376,6 +395,7 @@ void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
       // byte-identical to a run over the workload truncated after event.id.
       if (hook != nullptr && event.kind == EventKind::Arrive) (*hook)(event.id);
       consume_event(*pending);
+      ++flush.events;
       switch (event.kind) {
         case EventKind::Complete:
           deliver_completion(event.id, t, /*killed=*/false);
@@ -400,6 +420,7 @@ void SimulationEngine::run_loop(const ArrivalHook* hook, JobId run_until) {
 
     starts.clear();
     scheduler_->collect_starts(starts);
+    ++flush.invocations;
     for (const JobId id : starts) start_job(id);
 
     if (run_until != kInvalidJob && record_start(run_until) != kNoTime) return;

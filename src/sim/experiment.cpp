@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/clock.hpp"
+#include "obs/obs.hpp"
 #include "sim/policy_fst.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,21 +22,30 @@ ExperimentRunner::CacheEntry& ExperimentRunner::entry_for(const PolicyConfig& po
   return *slot;
 }
 
-const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy, util::StopToken stop) {
+const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy, util::StopToken stop,
+                                              bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   CacheEntry& entry = entry_for(policy);
   std::unique_lock<std::mutex> lock(entry.mutex);
   if (entry.state == CacheEntry::State::Running) {
     // Join the in-flight computation and share its outcome — including its
     // error (retrying per joiner would simulate a broken config N times).
+    obs::count(obs::Counter::kExperimentSingleFlightWaits);
+    if (cache_hit != nullptr) *cache_hit = true;
     entry.cv.wait(lock, [&] { return entry.state != CacheEntry::State::Running; });
     if (entry.state == CacheEntry::State::Done) return *entry.result;
     std::rethrow_exception(entry.error);
   }
-  if (entry.state == CacheEntry::State::Done) return *entry.result;
+  if (entry.state == CacheEntry::State::Done) {
+    obs::count(obs::Counter::kExperimentCacheHits);
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *entry.result;
+  }
 
   // Empty, or Failed: become the flight. A Failed entry is evicted here so a
   // retry (e.g. after a cancellation or timeout) can succeed without a
   // process restart; concurrent retriers serialize on the Running state.
+  obs::count(obs::Counter::kExperimentCacheMisses);
   entry.state = CacheEntry::State::Running;
   entry.error = nullptr;
   lock.unlock();
@@ -55,6 +66,7 @@ const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy, util::
       // fork drain help-drains safely from inside a sweep lane's pool task.
       PolicyFstOptions policy_options;
       policy_options.fork_batch = fst_options_.fork_batch;
+      policy_options.stats = &result->fst_stats;
       result->report.policy_fairness.fair_start =
           policy_no_later_arrivals_fst(workload_, config, policy_options);
       metrics::aggregate_fst(result->simulation, fst_options_,
@@ -81,6 +93,7 @@ const ExperimentResult& ExperimentRunner::run(const PolicyConfig& policy, util::
 
 std::vector<const ExperimentResult*> ExperimentRunner::run_all(
     const std::vector<PolicyConfig>& policies, std::size_t jobs, util::StopToken stop) {
+  obs::Span sweep_span("sweep");
   const std::size_t n = policies.size();
   std::vector<const ExperimentResult*> results(n, nullptr);
   util::ThreadPool& pool = util::global_pool();
@@ -151,6 +164,7 @@ std::vector<const ExperimentResult*> ExperimentRunner::run_all(
 
 std::vector<CellOutcome> ExperimentRunner::run_isolated(
     const std::vector<PolicyConfig>& policies, const IsolatedRunOptions& options) {
+  obs::Span sweep_span("sweep");
   const std::size_t n = policies.size();
   std::vector<CellOutcome> outcomes(n);
   util::ThreadPool& pool = util::global_pool();
@@ -165,16 +179,25 @@ std::vector<CellOutcome> ExperimentRunner::run_isolated(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       CellOutcome outcome;
-      try {
-        // Build the cell's token before on_start so timeouts measure from
-        // the instant the cell is picked up, fault hooks included.
-        const util::StopToken token =
-            options.cell_stop ? options.cell_stop(i) : options.stop;
-        if (options.on_start) options.on_start(i, token);
-        outcome.result = &run(policies[i], token);
-      } catch (...) {
-        outcome.error = std::current_exception();
-        if (!options.keep_going) halt.store(true, std::memory_order_relaxed);
+      {
+        obs::Span cell_span("cell");
+        const std::uint64_t cell_t0 = obs::armed() ? obs::now_us() : 0;
+        if (obs::armed()) cell_span.set_arg(policies[i].display_name());
+        try {
+          // Build the cell's token before on_start so timeouts measure from
+          // the instant the cell is picked up, fault hooks included.
+          const util::StopToken token =
+              options.cell_stop ? options.cell_stop(i) : options.stop;
+          if (options.on_start) options.on_start(i, token);
+          outcome.result = &run(policies[i], token, &outcome.cache_hit);
+        } catch (...) {
+          outcome.error = std::current_exception();
+          if (!options.keep_going) halt.store(true, std::memory_order_relaxed);
+        }
+        // Errors are timed too — a timed-out cell's lane occupancy is exactly
+        // what a breakdown reader wants to see.
+        if (obs::armed())
+          outcome.wall_seconds = static_cast<double>(obs::now_us() - cell_t0) * 1e-6;
       }
       outcomes[i] = outcome;  // each lane writes only its own slots
       if (options.on_finish) {

@@ -23,6 +23,7 @@
 
 #include "metrics/report.hpp"
 #include "sim/engine.hpp"
+#include "sim/policy_fst.hpp"
 #include "util/stop_token.hpp"
 
 namespace psched::sim {
@@ -31,6 +32,9 @@ struct ExperimentResult {
   PolicyConfig policy;
   SimulationResult simulation;
   metrics::PolicyReport report;
+  /// Drain observability from the policy-knowledge FST pass (zeros when the
+  /// metric set never selected it). Deterministic per (workload, config).
+  PolicyFstStats fst_stats;
 };
 
 /// The per-policy outcome of a fault-isolated sweep (run_isolated): exactly
@@ -39,6 +43,12 @@ struct ExperimentResult {
 struct CellOutcome {
   const ExperimentResult* result = nullptr;
   std::exception_ptr error;
+  /// Cache provenance + lane wall time, for campaign breakdowns. The result
+  /// bytes never depend on either: wall_seconds is only measured while obs
+  /// tracing is armed (and stays 0.0 otherwise), cache_hit only feeds the
+  /// summary "breakdown" block an armed run emits.
+  bool cache_hit = false;
+  double wall_seconds = 0.0;
   bool attempted() const { return result != nullptr || error != nullptr; }
 };
 
@@ -81,8 +91,11 @@ class ExperimentRunner {
   /// that joined it, and the next fresh call retries. `stop` (when valid)
   /// cancels the simulation at an event boundary with SimulationCancelled;
   /// empty falls back to the base config's token. Returned references stay
-  /// valid for the runner's lifetime.
-  const ExperimentResult& run(const PolicyConfig& policy, util::StopToken stop = {});
+  /// valid for the runner's lifetime. `cache_hit` (optional) reports whether
+  /// the result was served without simulating here — a Done entry or a
+  /// joined in-flight computation.
+  const ExperimentResult& run(const PolicyConfig& policy, util::StopToken stop = {},
+                              bool* cache_hit = nullptr);
 
   /// Run several policies, up to `jobs` concurrently on util::global_pool()
   /// (0 = pool size; 1 = serial). Results are returned in input order and are

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace psched::sim {
@@ -50,11 +52,15 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
           ? options.fork_batch
           : std::max<std::size_t>(options.parallel ? 4 * util::global_pool().size() : 0, 16);
   batch.reserve(batch_cap);
-  if (options.stats != nullptr) {
-    *options.stats = PolicyFstStats{};
-    options.stats->forks = n;
-    options.stats->fork_batch = batch_cap;
-  }
+  // Stats are kept unconditionally (integer bookkeeping is free); only the
+  // per-batch footprint walk — a fork_footprint_bytes() sweep — stays gated
+  // on someone actually consuming it (the caller's out-param or armed obs).
+  PolicyFstStats local_stats;
+  PolicyFstStats* stats = options.stats != nullptr ? options.stats : &local_stats;
+  *stats = PolicyFstStats{};
+  stats->forks = n;
+  stats->fork_batch = batch_cap;
+  const bool want_batch_bytes = options.stats != nullptr || obs::armed();
 
   SimulationEngine master(workload, run);
   const SimulationResult* master_result = nullptr;  // set once the pass ends
@@ -76,12 +82,15 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
 
   std::vector<std::size_t> pending;  // batch indices that genuinely need a drain
   const auto drain_batch = [&] {
-    if (options.stats != nullptr) {
+    if (batch.empty()) return;
+    obs::Span batch_span("fork-batch");
+    if (obs::armed()) batch_span.set_arg(std::to_string(batch.size()) + " forks");
+    if (want_batch_bytes) {
       // Peak engine-state memory this batch admitted: every fork in it is
       // still alive here, before resolution frees any of them.
       std::size_t batch_bytes = 0;
       for (const auto& entry : batch) batch_bytes += entry.second->fork_footprint_bytes();
-      options.stats->peak_batch_bytes = std::max(options.stats->peak_batch_bytes, batch_bytes);
+      stats->peak_batch_bytes = std::max(stats->peak_batch_bytes, batch_bytes);
     }
     pending.clear();
     for (std::size_t k = 0; k < batch.size(); ++k) {
@@ -102,10 +111,8 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
       util::parallel_for(pending.size(), drain_one);
     else
       for (std::size_t p = 0; p < pending.size(); ++p) drain_one(p);
-    if (options.stats != nullptr) {
-      options.stats->drained += pending.size();
-      options.stats->resolved_from_master += batch.size() - pending.size();
-    }
+    stats->drained += pending.size();
+    stats->resolved_from_master += batch.size() - pending.size();
     batch.clear();
   };
 
@@ -115,6 +122,10 @@ std::vector<Time> policy_no_later_arrivals_fst(const Workload& workload,
   });
   master_result = &result;  // run() moved the records out of the engine
   drain_batch();
+  obs::count(obs::Counter::kFstForks, stats->forks);
+  obs::count(obs::Counter::kFstForksDrained, stats->drained);
+  obs::count(obs::Counter::kFstResolvedFromMaster, stats->resolved_from_master);
+  obs::record_max(obs::Counter::kFstPeakBatchBytes, stats->peak_batch_bytes);
   return fair_start;
 }
 

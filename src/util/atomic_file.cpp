@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/obs.hpp"
 #include "util/fault.hpp"
 #include "util/retry.hpp"
 
@@ -73,6 +74,9 @@ void sync_parent_dir(const std::string& path) {
 }  // namespace
 
 void atomic_write_file(const std::string& path, std::string_view contents) {
+  obs::count(obs::Counter::kStoreAtomicWrites);
+  obs::Span span("store-write");
+  if (obs::armed()) span.set_arg(path);
   // Temp name: <path>.tmp.<pid>.<counter>. The process-wide counter keeps
   // concurrent writers of the same path in one process apart (pool lanes
   // under --keep-going, benches); O_EXCL turns the remaining collision — a

@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace psched::util {
 
 bool retryable_errno(int err) {
@@ -19,6 +21,7 @@ int retry_io(const std::function<int()>& op, const RetryPolicy& policy) {
     err = op();
     if (err == 0 || !retryable_errno(err)) return err;
     if (attempt + 1 == attempts) break;
+    obs::count(obs::Counter::kRetryReissues);
     if (err != EINTR) {  // EINTR: the call was interrupted, just reissue it
       std::this_thread::sleep_for(backoff);
       backoff = std::min(backoff * 2, policy.max_backoff);

@@ -7,6 +7,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/fault.hpp"
 
 namespace psched::util {
@@ -59,6 +60,9 @@ std::future<void> ThreadPool::enqueue(std::function<void()> task, bool leaf) {
       return rejected.get_future();
     }
     (leaf ? leaf_tasks_ : compound_tasks_).push(std::move(packaged));
+    obs::count(leaf ? obs::Counter::kPoolTasksLeaf : obs::Counter::kPoolTasksCompound);
+    obs::record_max(obs::Counter::kPoolQueueDepthHighWater,
+                    leaf_tasks_.size() + compound_tasks_.size());
   }
   cv_.notify_one();
   if (leaf) done_cv_.notify_all();  // parallel_for waiters may help with leaf work

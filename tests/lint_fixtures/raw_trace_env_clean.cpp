@@ -1,0 +1,11 @@
+// Compliant twin: other PSCHED_* knobs are fair game (only the trace-arming
+// variable is registry-owned), setting it is fine (that is how harnesses arm
+// child processes), and a literal that merely mentions PSCHED_TRACE without
+// an environment read is prose, not a violation.
+#include <cstdlib>
+
+const char* pool_size() { return std::getenv("PSCHED_THREADS"); }
+
+void arm_child() { setenv("PSCHED_TRACE", "trace.json", 1); }
+
+const char* hint() { return "set PSCHED_TRACE=trace.json to export a trace"; }

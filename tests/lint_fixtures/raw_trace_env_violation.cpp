@@ -1,0 +1,14 @@
+// Fixture: reads the trace-arming environment directly instead of asking the
+// obs registry. PSCHED_TRACE is read exactly once at static init by
+// src/obs/obs.cpp; a later getenv sees a stale/diverging arming view and
+// breaks the traced-vs-untraced byte-identity contract.
+#include <cstdlib>
+
+bool tracing_requested() {
+  return std::getenv("PSCHED_TRACE") != nullptr;
+}
+
+const char* trace_destination() {
+  return getenv(
+      "PSCHED_TRACE");
+}

@@ -1,0 +1,10 @@
+// Mirrors the sanctioned suffix src/obs/clock.cpp: the one trace timestamp
+// source; span timing never feeds simulation results.
+#include <chrono>
+
+unsigned long long trace_now_us() {
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

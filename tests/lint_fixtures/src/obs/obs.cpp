@@ -1,0 +1,5 @@
+// Mirrors the sanctioned suffix src/obs/obs.cpp: the obs registry itself is
+// the one place allowed to read the trace-arming environment.
+#include <cstdlib>
+
+const char* trace_request() { return std::getenv("PSCHED_TRACE"); }

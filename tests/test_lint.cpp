@@ -136,6 +136,31 @@ TEST(LintRawFaultEnv, SanctionedRegistryIsExempt) {
   EXPECT_TRUE(lint_fixture("src/util/fault.cpp").empty());
 }
 
+TEST(LintRawTraceEnv, FiresOnViolations) {
+  const auto findings = lint_fixture("raw_trace_env_violation.cpp");
+  EXPECT_EQ(count_rule(findings, Rule::kRawTraceEnv), 2u);
+  // Line 13: the literal sits one line below its getenv( — still caught.
+  EXPECT_EQ(lines_of(findings, Rule::kRawTraceEnv), (std::vector<int>{8, 13}));
+}
+
+TEST(LintRawTraceEnv, SilentOnCompliantTwin) {
+  // Reading other PSCHED_* knobs, *setting* PSCHED_TRACE, and mentioning it
+  // in prose literals are all allowed.
+  EXPECT_TRUE(lint_fixture("raw_trace_env_clean.cpp").empty());
+}
+
+TEST(LintRawTraceEnv, SanctionedRegistryIsExempt) {
+  // Mirrors the sanctioned suffix src/obs/obs.cpp — the obs registry is the
+  // one reader of the trace-arming environment.
+  EXPECT_TRUE(lint_fixture("src/obs/obs.cpp").empty());
+}
+
+TEST(LintWallClock, SanctionedTraceClockIsExempt) {
+  // Mirrors the sanctioned suffix src/obs/clock.cpp — the one trace timestamp
+  // source; its steady_clock read never feeds simulation results.
+  EXPECT_TRUE(lint_fixture("src/obs/clock.cpp").empty());
+}
+
 TEST(LintSuppressions, WellFormedSuppressionsSilenceFindings) {
   // Same-line and own-line placements, each with a reason: file lints clean.
   EXPECT_TRUE(lint_fixture("suppressed_ok.cpp").empty());
@@ -183,7 +208,8 @@ TEST(LintTree, RealTreeIsClean) {
 
 TEST(LintRuleNames, RoundTrip) {
   for (const char* name : {"raw-rng", "wall-clock", "parallel-fp-accum", "scheduler-clone",
-                           "raw-file-write", "unordered-iter", "raw-fault-env"}) {
+                           "raw-file-write", "unordered-iter", "raw-fault-env",
+                           "raw-trace-env"}) {
     Rule rule;
     ASSERT_TRUE(psched::lint::rule_from_name(name, rule)) << name;
     EXPECT_STREQ(psched::lint::rule_name(rule), name);

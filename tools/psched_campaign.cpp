@@ -22,6 +22,12 @@
 //                      memory, never output
 //     --dry-run        parse the spec, print the expanded cell plan, and exit
 //     --csv            print stdout tables as CSV instead of aligned text
+//     --trace FILE     arm the observability layer and export a Chrome
+//                      trace-event / Perfetto JSON trace to FILE (equivalent
+//                      to PSCHED_TRACE=FILE; see docs/observability.md).
+//                      Result stores stay byte-identical to an untraced run
+//     --stats          arm the observability layer and print the per-cell
+//                      breakdown table plus the nonzero subsystem counters
 //
 // SIGINT/SIGTERM request a cooperative stop: in-flight cells cancel at their
 // next event boundary, the journal is already durable, and a partial results
@@ -48,6 +54,7 @@
 #include <vector>
 
 #include "metrics/report.hpp"
+#include "obs/obs.hpp"
 #include "scenario/campaign.hpp"
 #include "util/atomic_file.hpp"
 #include "util/table.hpp"
@@ -88,6 +95,8 @@ void print_usage() {
       "  --swf-reader R   streaming (default) or eager SWF ingestion; identical stores\n"
       "  --dry-run        print the expanded cell plan without simulating\n"
       "  --csv            CSV tables on stdout\n"
+      "  --trace FILE     export a Perfetto/Chrome trace-event JSON to FILE\n"
+      "  --stats          print the per-cell breakdown and subsystem counters\n"
       "exit codes: 0 all ok, 2 usage/spec error, 3 failed/skipped cells, 4 interrupted\n";
 }
 
@@ -119,6 +128,8 @@ int main(int argc, char** argv) {
   double wall_budget = 0.0;
   bool dry_run = false;
   bool csv = false;
+  bool stats = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,6 +166,12 @@ int main(int argc, char** argv) {
       dry_run = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+      obs::arm();  // armed before any simulation so the whole campaign is traced
+    } else if (arg == "--stats") {
+      stats = true;
+      obs::arm();
     } else if (!arg.empty() && arg[0] == '-') {
       fail("unknown option '" + arg + "'");
     } else if (spec_path.empty()) {
@@ -279,6 +296,37 @@ int main(int argc, char** argv) {
               << ") — results are complete, but un-journaled cells would be "
                  "re-simulated by --resume\n";
 
+  if (stats && result.breakdown_enabled) {
+    util::TextTable breakdown({"cell", "policy", "status", "provenance", "wall_s", "events",
+                               "sched", "fst_forks", "fst_drained", "peak_batch_b"});
+    for (const scenario::CellResult& cell : result.cells) {
+      const auto& b = cell.breakdown;
+      breakdown.begin_row()
+          .add_int(static_cast<long long>(cell.cell.index))
+          .add(cell.cell.policy.display_name())
+          .add(scenario::cell_status_name(cell.status))
+          .add(cell.restored ? "journal" : !b.collected ? "none" : b.cache_hit ? "cache"
+                                                                               : "computed")
+          .add(b.wall_seconds, 3)
+          .add_int(static_cast<long long>(b.events_delivered))
+          .add_int(static_cast<long long>(b.scheduler_invocations))
+          .add_int(static_cast<long long>(b.fst_forks))
+          .add_int(static_cast<long long>(b.fst_drained))
+          .add_int(static_cast<long long>(b.fst_peak_batch_bytes));
+    }
+    std::cout << "\n== per-cell breakdown ==\n" << (csv ? breakdown.csv() : breakdown.str());
+
+    util::TextTable counters({"counter", "class", "value"});
+    for (const obs::CounterValue& counter : obs::counters_snapshot())
+      if (counter.value != 0)
+        counters.begin_row()
+            .add(counter.name)
+            .add(counter.deterministic ? "deterministic" : "scheduling")
+            .add_int(static_cast<long long>(counter.value));
+    std::cout << "\n== subsystem counters (nonzero) ==\n"
+              << (csv ? counters.csv() : counters.str());
+  }
+
   if (!out_dir.empty()) {
     const std::string cells_path = out_dir + "/cells.csv";
     const std::string summary_path = out_dir + "/summary.json";
@@ -298,6 +346,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n# wrote " << cells_path << " and " << summary_path << '\n';
   }
+
+  // Exported last so the trace covers the store writes too. Best-effort: a
+  // failed export reports on stderr but never fails a finished campaign.
+  if (!trace_path.empty() && obs::write_trace_file(trace_path))
+    std::cout << "# wrote trace " << trace_path << '\n';
 
   if (result.interrupted) return 4;
   if (failed + timeout + cancelled + pending > 0) return 3;

@@ -29,6 +29,7 @@ constexpr RuleInfo kRules[] = {
     {Rule::kRawFileWrite, "raw-file-write"},
     {Rule::kUnorderedIter, "unordered-iter"},
     {Rule::kRawFaultEnv, "raw-fault-env"},
+    {Rule::kRawTraceEnv, "raw-trace-env"},
     {Rule::kBadSuppression, "bad-suppression"},
 };
 
@@ -58,6 +59,12 @@ constexpr Sanction kSanctions[] = {
     // The chaos harness bounds *child process* wall time (hang detection,
     // kill legs); like StopToken deadlines, none of it feeds results.
     {Rule::kWallClock, "tools/psched_chaos.cpp"},
+    // The observability layer: src/obs/clock.cpp is the ONE sanctioned trace
+    // timestamp source (span timing never feeds simulation results), and
+    // src/obs/obs.cpp's static-init EnvInit is the one reader of PSCHED_TRACE
+    // — mirroring the fault registry's once-at-startup arming discipline.
+    {Rule::kWallClock, "src/obs/clock.cpp"},
+    {Rule::kRawTraceEnv, "src/obs/obs.cpp"},
 };
 
 bool is_sanctioned(Rule rule, const std::string& path) {
@@ -700,6 +707,31 @@ void rule_raw_fault_env(const std::vector<Token>& tokens, const std::vector<Lite
   }
 }
 
+// Rule raw-trace-env: the observability twin of raw-fault-env. The obs
+// layer's EnvInit (src/obs/obs.cpp) reads PSCHED_TRACE exactly once at static
+// init, so every count()/Span site shares one consistent arming view for the
+// whole process — the byte-identity contract (traced vs untraced stores) is
+// only testable because arming cannot change mid-run. A getenv("PSCHED_TRACE")
+// anywhere else reintroduces exactly that hazard — call obs::armed() /
+// obs::arm() / obs::set_exit_trace_path() instead.
+void rule_raw_trace_env(const std::vector<Token>& tokens, const std::vector<Literal>& literals,
+                        const std::string& file, std::vector<Finding>& out) {
+  for (const Literal& literal : literals) {
+    if (literal.text.compare(0, 12, "PSCHED_TRACE") != 0) continue;
+    bool env_read = false;
+    for (const Token& t : tokens)
+      if ((t.line == literal.line || t.line + 1 == literal.line) &&
+          any_of_idents(t, {"getenv", "secure_getenv"}))
+        env_read = true;
+    if (env_read)
+      add(out, file, literal.line, Rule::kRawTraceEnv,
+          "getenv(\"" + literal.text +
+              "\") outside the obs registry — PSCHED_TRACE is read once at startup by "
+              "src/obs/obs.cpp; use obs::armed()/obs::arm()/obs::set_exit_trace_path() "
+              "instead of re-reading the environment");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
@@ -812,6 +844,8 @@ std::vector<Finding> lint_file(const FileInput& input) {
   rule_unordered_iter(tokens, header_tokens, input.path, findings);
   if (!is_sanctioned(Rule::kRawFaultEnv, input.path))
     rule_raw_fault_env(tokens, stripped.literals, input.path, findings);
+  if (!is_sanctioned(Rule::kRawTraceEnv, input.path))
+    rule_raw_trace_env(tokens, stripped.literals, input.path, findings);
 
   std::vector<Suppression> suppressions;
   parse_suppressions(stripped.comments, input.path, suppressions, findings);

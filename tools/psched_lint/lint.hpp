@@ -26,6 +26,7 @@ enum class Rule {
   kRawFileWrite,    ///< direct file writes outside util::atomic_write_file
   kUnorderedIter,   ///< iterating an unordered container without justification
   kRawFaultEnv,     ///< getenv("PSCHED_FAULT*") outside the fault registry
+  kRawTraceEnv,     ///< getenv("PSCHED_TRACE") outside the obs registry
   kBadSuppression,  ///< malformed psched-lint comment (diagnostic, not a contract)
 };
 

@@ -17,6 +17,10 @@
 //     --by-width          also print the per-width breakdown tables
 //     --by-user N         also print the N heaviest users' treatment
 //     --write-swf FILE    dump the (possibly synthetic) trace as SWF and exit
+//     --trace FILE        arm the observability layer and export a Perfetto /
+//                         Chrome trace-event JSON to FILE on exit (equivalent
+//                         to PSCHED_TRACE=FILE; the report bytes are
+//                         unchanged — see docs/observability.md)
 
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +31,7 @@
 
 #include "metrics/breakdowns.hpp"
 #include "metrics/report.hpp"
+#include "obs/obs.hpp"
 #include "sim/experiment.hpp"
 #include "workload/generator.hpp"
 #include "workload/swf.hpp"
@@ -51,7 +56,8 @@ void print_usage() {
       "                                    size, env PSCHED_THREADS; 1 = serial; the\n"
       "                                    report is byte-identical for every N)\n"
       "  --csv --by-width --by-user N      output options\n"
-      "  --write-swf FILE                  dump trace and exit\n";
+      "  --write-swf FILE                  dump trace and exit\n"
+      "  --trace FILE                      export a Perfetto trace JSON on exit\n";
 }
 
 }  // namespace
@@ -108,6 +114,9 @@ int main(int argc, char** argv) {
       by_width = true;
     } else if (arg == "--by-user") {
       by_user = std::atoi(next());
+    } else if (arg == "--trace") {
+      obs::arm();
+      obs::set_exit_trace_path(next());
     } else {
       fail("unknown option '" + arg + "'");
     }

@@ -66,6 +66,24 @@ run_tier1() {
   # Two policies on the sample trace -> header + 2 rows.
   test "$(wc -l < "$SMOKE_OUT/cells.csv")" -eq 3
 
+  echo "== observability smoke: traced run, byte-identical store =="
+  # The obs contract: arming --trace/--stats changes NO result byte. Re-run
+  # the smoke campaign traced, diff cells.csv bytewise against the untraced
+  # run, diff summary.json after stripping the "breakdown" block only an
+  # armed run emits, and validate the exported Perfetto JSON (span hierarchy
+  # present, counters nonzero) with the stdlib-only summarizer.
+  TRACE_OUT="$BUILD/campaign-trace-smoke"
+  rm -rf "$TRACE_OUT"
+  "$BUILD"/psched_campaign examples/campaigns/swf_replay.spec --out "$TRACE_OUT" \
+    --jobs 1 --trace "$TRACE_OUT/trace.json" --stats
+  cmp "$SMOKE_OUT/cells.csv" "$TRACE_OUT/cells.csv"
+  grep -q '^  "breakdown": \[$' "$TRACE_OUT/summary.json"  # armed run emits it
+  sed '/^  "breakdown": \[$/,/^  \],$/d' "$TRACE_OUT/summary.json" \
+    | cmp - "$SMOKE_OUT/summary.json"
+  python3 tools/summarize_trace.py "$TRACE_OUT/trace.json" \
+    --require-spans campaign,workload-build,group,sweep,cell,store-write \
+    --require-counters
+
   echo "== campaign kill-and-resume smoke =="
   # Hang the second cell, SIGKILL the process once the first cell's journal
   # record is durable, then resume without the fault: the journal must replay

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Summarize a psched observability trace (Chrome trace-event JSON).
+
+Reads the file written by --trace / PSCHED_TRACE and prints, stdlib-only:
+
+  * phase totals   — per span name: count, total/mean/max duration
+  * slowest cells  — the top-N "cell" spans by duration, with their policy arg
+  * pool utilization — per thread lane: busy time inside cell/fork-batch
+    spans over the traced wall interval (an estimate: spans nest, so the
+    outermost simulation-bearing spans are what is summed)
+  * counters       — the deterministic / scheduling counter dump, nonzero rows
+
+Validation flags let CI assert trace shape without a JSON toolchain:
+
+  --require-spans a,b,c   exit 1 unless every named span appears
+  --require-counters      exit 1 unless some counter is nonzero
+
+Usage:
+  tools/summarize_trace.py trace.json [--top N] [--require-spans names]
+                                      [--require-counters]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit("summarize_trace: cannot read %s: %s" % (path, error))
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        sys.exit("summarize_trace: %s is not a trace-event JSON "
+                 "(no traceEvents key)" % path)
+    return trace
+
+
+def complete_events(trace):
+    events = []
+    for event in trace["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        events.append({
+            "name": event.get("name", "?"),
+            "tid": event.get("tid", 0),
+            "ts": int(event.get("ts", 0)),
+            "dur": int(event.get("dur", 0)),
+            "arg": (event.get("args") or {}).get("arg", ""),
+        })
+    return events
+
+
+def fmt_us(us):
+    if us >= 1_000_000:
+        return "%.2fs" % (us / 1_000_000)
+    if us >= 1_000:
+        return "%.2fms" % (us / 1_000)
+    return "%dus" % us
+
+
+def print_phase_totals(events):
+    phases = defaultdict(lambda: {"count": 0, "total": 0, "max": 0})
+    for event in events:
+        slot = phases[event["name"]]
+        slot["count"] += 1
+        slot["total"] += event["dur"]
+        slot["max"] = max(slot["max"], event["dur"])
+    print("== phase totals ==")
+    print("%-16s %8s %12s %12s %12s" % ("span", "count", "total", "mean", "max"))
+    for name, slot in sorted(phases.items(), key=lambda kv: -kv[1]["total"]):
+        mean = slot["total"] / slot["count"]
+        print("%-16s %8d %12s %12s %12s"
+              % (name, slot["count"], fmt_us(slot["total"]), fmt_us(mean),
+                 fmt_us(slot["max"])))
+
+
+def print_slowest_cells(events, top):
+    cells = sorted((e for e in events if e["name"] == "cell"),
+                   key=lambda e: -e["dur"])
+    if not cells:
+        print("\n(no cell spans in this trace)")
+        return
+    print("\n== slowest cells (top %d of %d) ==" % (min(top, len(cells)), len(cells)))
+    print("%-12s %6s  %s" % ("duration", "tid", "policy"))
+    for event in cells[:top]:
+        print("%-12s %6d  %s" % (fmt_us(event["dur"]), event["tid"],
+                                 event["arg"] or "?"))
+
+
+def print_pool_utilization(events):
+    # Busy time per thread lane = time inside the outermost simulation-bearing
+    # spans (cells, and fork-batches landing on pool workers). Spans of other
+    # kinds nest around or inside these, so this is an estimate, not an
+    # accounting identity.
+    busy = defaultdict(int)
+    for event in events:
+        if event["name"] in ("cell", "fork-batch"):
+            busy[event["tid"]] += event["dur"]
+    if not busy or not events:
+        return
+    t0 = min(e["ts"] for e in events)
+    t1 = max(e["ts"] + e["dur"] for e in events)
+    wall = max(1, t1 - t0)
+    print("\n== pool utilization (cell + fork-batch busy time / traced interval %s) =="
+          % fmt_us(wall))
+    for tid in sorted(busy):
+        fraction = busy[tid] / wall
+        bar = "#" * int(round(fraction * 40))
+        print("tid %-4d %8s  %5.1f%%  %s" % (tid, fmt_us(busy[tid]),
+                                             fraction * 100.0, bar))
+
+
+def print_counters(trace):
+    counters = trace.get("counters")
+    if not isinstance(counters, dict):
+        print("\n(no counters object in this trace)")
+        return False
+    any_nonzero = False
+    print("\n== counters (nonzero) ==")
+    for klass in ("deterministic", "scheduling"):
+        for name, value in sorted((counters.get(klass) or {}).items()):
+            if value:
+                any_nonzero = True
+                print("%-36s %-14s %12d" % (name, klass, value))
+    if not any_nonzero:
+        print("(all counters are zero)")
+    return any_nonzero
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize a psched --trace / PSCHED_TRACE JSON file.")
+    parser.add_argument("trace", help="trace JSON written by --trace")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slowest cells to list (default 10)")
+    parser.add_argument("--require-spans", default="",
+                        help="comma-separated span names that must appear "
+                             "(exit 1 otherwise)")
+    parser.add_argument("--require-counters", action="store_true",
+                        help="exit 1 unless at least one counter is nonzero")
+    args = parser.parse_args()
+
+    trace = load_trace(args.trace)
+    events = complete_events(trace)
+    print("# %s: %d complete events, %d thread lanes"
+          % (args.trace, len(events), len({e["tid"] for e in events})))
+
+    print_phase_totals(events)
+    print_slowest_cells(events, args.top)
+    print_pool_utilization(events)
+    any_nonzero = print_counters(trace)
+
+    failures = []
+    if args.require_spans:
+        present = {e["name"] for e in events}
+        for name in filter(None, (s.strip() for s in args.require_spans.split(","))):
+            if name not in present:
+                failures.append("required span '%s' not in trace" % name)
+    if args.require_counters and not any_nonzero:
+        failures.append("all counters are zero")
+    for failure in failures:
+        print("summarize_trace: FAIL: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
